@@ -1,0 +1,339 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/partition"
+	"repro/internal/points"
+	"repro/internal/supply"
+	"repro/internal/task"
+	"repro/internal/timeu"
+	"repro/internal/workload"
+)
+
+// One benchmark per evaluation artifact of the paper (Figure 4 and the
+// Table 2 rows), plus ablations for the design decisions called out in
+// DESIGN.md. Key reproduced values are attached as custom metrics so
+// `go test -bench` output doubles as the experiment record.
+
+// BenchmarkFigure4SweepEDF regenerates the EDF curve of Figure 4.
+func BenchmarkFigure4SweepEDF(b *testing.B) {
+	pr := PaperProblem(EDF)
+	for i := 0; i < b.N; i++ {
+		pts, err := Explore(pr, ExploreOptions{PMax: 3.5, Samples: 350})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 350 {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
+// BenchmarkFigure4SweepRM regenerates the RM curve of Figure 4.
+func BenchmarkFigure4SweepRM(b *testing.B) {
+	pr := PaperProblem(RM)
+	for i := 0; i < b.N; i++ {
+		if _, err := Explore(pr, ExploreOptions{PMax: 3.5, Samples: 350}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4Points locates the five labelled points of Figure 4.
+func BenchmarkFigure4Points(b *testing.B) {
+	var p1, p2, o3, o4, p5 float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		if p1, err = MaxFeasiblePeriod(withOverhead(PaperProblem(EDF), 0), ExploreOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		if p2, err = MaxFeasiblePeriod(withOverhead(PaperProblem(RM), 0), ExploreOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, o3, err = MaxAdmissibleOverhead(PaperProblem(EDF), ExploreOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, o4, err = MaxAdmissibleOverhead(PaperProblem(RM), ExploreOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		if p5, err = MaxFeasiblePeriod(PaperProblem(EDF), ExploreOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(p1, "①maxP-edf")
+	b.ReportMetric(p2, "②maxP-rm")
+	b.ReportMetric(o3, "③maxO-edf")
+	b.ReportMetric(o4, "④maxO-rm")
+	b.ReportMetric(p5, "⑤maxP-edf@.05")
+}
+
+// BenchmarkTable2MaxPeriod solves the min-overhead-bandwidth design.
+func BenchmarkTable2MaxPeriod(b *testing.B) {
+	pr := PaperProblem(EDF)
+	var sol Solution
+	for i := 0; i < b.N; i++ {
+		var err error
+		if sol, err = Design(pr, MinOverheadBandwidth); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sol.Config.P, "P")
+	b.ReportMetric(sol.Quanta.FT, "Q̃FT")
+	b.ReportMetric(sol.Quanta.FS, "Q̃FS")
+	b.ReportMetric(sol.Quanta.NF, "Q̃NF")
+}
+
+// BenchmarkTable2MaxSlack solves the max-flexibility design.
+func BenchmarkTable2MaxSlack(b *testing.B) {
+	pr := PaperProblem(EDF)
+	var sol Solution
+	for i := 0; i < b.N; i++ {
+		var err error
+		if sol, err = Design(pr, MaxFlexibility); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sol.Config.P, "P")
+	b.ReportMetric(sol.SlackBandwidth, "slackBW")
+}
+
+// BenchmarkMinQ measures the core primitive for both algorithms on the
+// paper's FT channel.
+func BenchmarkMinQ(b *testing.B) {
+	s := task.PaperTaskSet().ByMode(task.FT)
+	for _, alg := range []Alg{RM, EDF} {
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := analysis.MinQ(s, alg, 2.0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulateHyperperiod executes the Table 2(b) design for one
+// hyperperiod (120 time units), sequentially and with channel-parallel
+// execution.
+func BenchmarkSimulateHyperperiod(b *testing.B) {
+	sol, err := Design(PaperProblem(EDF), MinOverheadBandwidth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, parallel := range []bool{false, true} {
+		name := "sequential"
+		if parallel {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			var misses int
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(sol.Config, PaperTaskSet(), EDF, SimOptions{Parallel: parallel})
+				if err != nil {
+					b.Fatal(err)
+				}
+				misses = res.TotalMisses()
+			}
+			b.ReportMetric(float64(misses), "misses")
+		})
+	}
+}
+
+// BenchmarkSimulateWithFaults adds Poisson fault injection and the
+// checker machinery to the hyperperiod run.
+func BenchmarkSimulateWithFaults(b *testing.B) {
+	sol, err := Design(PaperProblem(EDF), MinOverheadBandwidth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj := PoissonFaults{Rate: 0.05, Duration: timeu.FromUnits(0.05), Seed: 7}
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(sol.Config, PaperTaskSet(), EDF, SimOptions{Injector: inj, Parallel: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationExactSupply compares the linear-bound minQ (Eq. 6/11,
+// what the paper uses) against the exact Lemma 1 supply (the "tedious"
+// variant the paper skips), quantifying the quantum the linear bound
+// gives away on the FT channel.
+func BenchmarkAblationExactSupply(b *testing.B) {
+	s := task.PaperTaskSet().ByMode(task.FT)
+	const p = 2.0
+	b.Run("linear", func(b *testing.B) {
+		var q float64
+		for i := 0; i < b.N; i++ {
+			var err error
+			if q, err = analysis.MinQ(s, EDF, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(q, "minQ")
+	})
+	b.Run("exact", func(b *testing.B) {
+		var q float64
+		for i := 0; i < b.N; i++ {
+			var ok bool
+			var err error
+			if q, ok, err = supply.MinQExact(s, EDF, p); err != nil || !ok {
+				b.Fatal(err, ok)
+			}
+		}
+		b.ReportMetric(q, "minQ")
+	})
+}
+
+// BenchmarkAblationPartitionHeuristics compares the channel-assignment
+// heuristics (the allocation step the paper leaves to future work) on a
+// 24-task synthetic workload: runtime plus resulting max channel
+// utilisation.
+func BenchmarkAblationPartitionHeuristics(b *testing.B) {
+	src, err := workload.Generate(workload.Config{N: 24, TotalUtilization: 3.5, Seed: 21})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, h := range []partition.Heuristic{partition.FirstFit, partition.BestFit, partition.WorstFit, partition.NextFit} {
+		b.Run(h.String(), func(b *testing.B) {
+			var u float64
+			for i := 0; i < b.N; i++ {
+				got, err := partition.Assign(src, partition.Options{Heuristic: h, Decreasing: true, Alg: EDF})
+				if err != nil {
+					b.Skip("heuristic failed on this workload")
+				}
+				u = partition.MaxChannelUtilization(got)
+			}
+			b.ReportMetric(u, "maxChanU")
+		})
+	}
+}
+
+// BenchmarkAblationSchedPoints compares Theorem 1 feasibility checking
+// over the minimal Bini–Buttazzo point set against a dense grid, the
+// design decision behind internal/points.
+func BenchmarkAblationSchedPoints(b *testing.B) {
+	s := task.PaperTaskSet().ByMode(task.FT).SortedRM()
+	sp := analysis.Supply{Alpha: 0.4, Delta: 0.5}
+	b.Run("schedP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ok, err := analysis.FeasibleFP(s, RM, sp)
+			if err != nil || !ok {
+				b.Fatal(ok, err)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Same condition checked on a 1e-2 grid over each deadline.
+			for idx, tk := range s {
+				ok := false
+				for _, t := range points.DenseGrid(tk.D, 0.01) {
+					if sp.Delta <= t-analysis.RequestBound(tk.C, s[:idx], t)/sp.Alpha {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					b.Fatal("dense grid found infeasible")
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkWorkloadGeneration measures the synthetic workload generator
+// used by the scaling studies.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Generate(workload.Config{N: 50, TotalUtilization: 6, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSubSlots sizes the multi-quantum extension (the
+// paper's Section 5 future work) at P = 1.7 — a period misaligned with
+// the task deadlines, where splitting genuinely helps — for k = 1…4
+// sub-slots per period, reporting the allocated bandwidth: more
+// sub-slots need less quantum but pay the switch overhead k times.
+func BenchmarkAblationSubSlots(b *testing.B) {
+	pr := PaperProblem(EDF)
+	for k := 1; k <= 4; k++ {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var sol SplitSolution
+			for i := 0; i < b.N; i++ {
+				var err error
+				if sol, err = SolveSplit(pr, 1.7, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(sol.Allocated, "allocBW")
+			b.ReportMetric(sol.Quanta.Total(), "ΣQ̃")
+		})
+	}
+}
+
+// BenchmarkSweepParallel compares the sequential Figure 4 sweep against
+// the worker-pool version on a dense grid.
+func BenchmarkSweepParallel(b *testing.B) {
+	pr := PaperProblem(EDF)
+	opts := ExploreOptions{PMax: 3.5, Samples: 2048}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Explore(pr, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ExploreParallel(pr, opts, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationNonUniformLayout sizes the general multi-quantum
+// layout that rescues P = 6 — a period no single-slot (or uniform-split)
+// design can reach because τ9's deadline is 4. Reported metrics: the
+// layout's consumed bandwidth and slack.
+func BenchmarkAblationNonUniformLayout(b *testing.B) {
+	pr := PaperProblem(EDF)
+	var l PeriodLayout
+	for i := 0; i < b.N; i++ {
+		var err error
+		if l, err = SolveLayout(pr, 6.0, SubSlotCounts{FT: 1, FS: 4, NF: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(l.Consumed/l.P, "allocBW")
+	b.ReportMetric(l.Slack(), "slack")
+}
+
+// BenchmarkOnlineAdmission measures one admit/remove reconfiguration
+// cycle on the live max-flexibility design.
+func BenchmarkOnlineAdmission(b *testing.B) {
+	pr := PaperProblem(EDF)
+	sol, err := Design(pr, MaxFlexibility)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr, err := NewOnlineManager(pr, sol.Config)
+	if err != nil {
+		b.Fatal(err)
+	}
+	guest := Task{Name: "bench-guest", C: 0.2, T: 10, Mode: NF, Channel: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mgr.Admit(guest); err != nil {
+			b.Fatal(err)
+		}
+		if err := mgr.Remove(guest.Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

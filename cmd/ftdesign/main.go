@@ -1,0 +1,95 @@
+// Command ftdesign computes the feasible-region landmarks (Figure 4
+// points) and the two design solutions (Table 2) for a task set.
+//
+// Usage:
+//
+//	ftdesign [-tasks file.json] [-alg edf|rm|dm] [-otot 0.05]
+//
+// Without -tasks it runs the paper's 13-task example and reproduces the
+// published numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ftdesign: ")
+	var (
+		tasksPath = flag.String("tasks", "", "task-set JSON file (default: the paper's Table 1)")
+		algName   = flag.String("alg", "edf", "per-channel scheduler: edf, rm or dm")
+		otot      = flag.Float64("otot", repro.PaperOverheadTotal, "total mode-switch overhead O_tot")
+		outPath   = flag.String("o", "", "write the max-period design to this JSON file (for ftsim -design)")
+	)
+	flag.Parse()
+
+	alg, err := analysis.ParseAlg(*algName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tasks := repro.PaperTaskSet()
+	if *tasksPath != "" {
+		f, err := os.Open(*tasksPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tasks, err = repro.ReadTaskSet(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	pr, err := repro.NewProblem(tasks, alg, *otot)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Task set:")
+	fmt.Println(repro.FormatTaskTable(tasks))
+
+	noOver := pr
+	noOver.O = repro.PerMode{}
+	if maxP, err := repro.MaxFeasiblePeriod(noOver, repro.ExploreOptions{}); err == nil {
+		fmt.Printf("max feasible period (O_tot = 0):      %.3f\n", maxP)
+	} else {
+		fmt.Printf("max feasible period (O_tot = 0):      none (%v)\n", err)
+	}
+	if _, maxO, err := repro.MaxAdmissibleOverhead(pr, repro.ExploreOptions{}); err == nil {
+		fmt.Printf("max admissible total overhead:        %.3f\n", maxO)
+	}
+	if maxP, err := repro.MaxFeasiblePeriod(pr, repro.ExploreOptions{}); err == nil {
+		fmt.Printf("max feasible period (O_tot = %.3f):  %.3f\n", *otot, maxP)
+	} else {
+		log.Fatalf("no feasible period at O_tot = %g: %v", *otot, err)
+	}
+	fmt.Println()
+
+	b, c, err := repro.DesignBoth(pr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Design solutions (%s, O_tot = %.3f):\n", alg, *otot)
+	fmt.Println(repro.FormatSolutions(b, c))
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := b.Config.WriteJSON(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("max-period design written to %s\n", *outPath)
+	}
+}

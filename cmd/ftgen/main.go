@@ -1,0 +1,57 @@
+// Command ftgen emits a random task set as task-set JSON on stdout,
+// generated with UUniFast utilisations, log-uniform periods and
+// automatic channel assignment (worst-fit decreasing).
+//
+// Usage:
+//
+//	ftgen [-n 13] [-u 2.5] [-seed 1] [-constrained] [-alg edf]
+//	      [-ftshare 1] [-fsshare 1] [-nfshare 1]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ftgen: ")
+	var (
+		n           = flag.Int("n", 13, "number of tasks")
+		u           = flag.Float64("u", 2.5, "total utilisation")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		constrained = flag.Bool("constrained", false, "draw deadlines from [C, T] instead of D = T")
+		algName     = flag.String("alg", "edf", "admission algorithm for channel assignment")
+		ftShare     = flag.Float64("ftshare", 1, "relative share of FT tasks")
+		fsShare     = flag.Float64("fsshare", 1, "relative share of FS tasks")
+		nfShare     = flag.Float64("nfshare", 1, "relative share of NF tasks")
+	)
+	flag.Parse()
+
+	alg, err := analysis.ParseAlg(*algName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := repro.WorkloadConfig{
+		N:                    *n,
+		TotalUtilization:     *u,
+		ConstrainedDeadlines: *constrained,
+		Seed:                 *seed,
+	}
+	cfg.ModeShare.FT, cfg.ModeShare.FS, cfg.ModeShare.NF = *ftShare, *fsShare, *nfShare
+	s, err := repro.GenerateWorkload(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	assigned, err := repro.AutoPartition(s, alg)
+	if err != nil {
+		log.Fatalf("workload not partitionable: %v (try lowering -u)", err)
+	}
+	if err := repro.WriteTaskSet(os.Stdout, assigned); err != nil {
+		log.Fatal(err)
+	}
+}

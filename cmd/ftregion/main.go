@@ -1,0 +1,70 @@
+// Command ftregion emits the Figure 4 series — lhs(P) of Eq. (15) over
+// a period sweep — as CSV on stdout, for both EDF and RM or a single
+// algorithm.
+//
+// Usage:
+//
+//	ftregion [-tasks file.json] [-alg both|edf|rm|dm] [-pmax 3.5] [-samples 700]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ftregion: ")
+	var (
+		tasksPath = flag.String("tasks", "", "task-set JSON file (default: the paper's Table 1)")
+		algName   = flag.String("alg", "both", "scheduler: both, edf, rm or dm")
+		pmax      = flag.Float64("pmax", 3.5, "largest period to sample")
+		samples   = flag.Int("samples", 700, "number of samples over (0, pmax]")
+	)
+	flag.Parse()
+
+	tasks := repro.PaperTaskSet()
+	if *tasksPath != "" {
+		f, err := os.Open(*tasksPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rerr error
+		tasks, rerr = repro.ReadTaskSet(f)
+		f.Close()
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+	}
+
+	var algs []repro.Alg
+	if *algName == "both" {
+		algs = []repro.Alg{repro.EDF, repro.RM}
+	} else {
+		a, err := analysis.ParseAlg(*algName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		algs = []repro.Alg{a}
+	}
+
+	series := map[string][]repro.SweepPoint{}
+	for _, alg := range algs {
+		pr, err := repro.NewProblem(tasks, alg, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts, err := repro.Explore(pr, repro.ExploreOptions{PMax: *pmax, Samples: *samples})
+		if err != nil {
+			log.Fatal(err)
+		}
+		series[alg.String()] = pts
+	}
+	if err := repro.WriteSweepCSV(os.Stdout, series); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Command ftsim designs a configuration for a task set and executes it
+// on the modelled 4-core lock-step platform, optionally injecting
+// transient faults and applying a recovery policy.
+//
+// Usage:
+//
+//	ftsim [-tasks file.json] [-alg edf|rm|dm] [-otot 0.05]
+//	      [-goal max-period|max-slack] [-horizon 480]
+//	      [-faultrate 0.02] [-faultdur 0.05] [-seed 1]
+//	      [-recovery none|drop|backup|checkpoint] [-gantt 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ftsim: ")
+	var (
+		tasksPath  = flag.String("tasks", "", "task-set JSON file (default: the paper's Table 1)")
+		designPath = flag.String("design", "", "design JSON file from ftdesign -o (skips solving)")
+		algName    = flag.String("alg", "edf", "per-channel scheduler: edf, rm or dm")
+		otot       = flag.Float64("otot", repro.PaperOverheadTotal, "total mode-switch overhead")
+		goalName   = flag.String("goal", "max-period", "design goal: max-period or max-slack")
+		horizon    = flag.Float64("horizon", 480, "simulated time units")
+		faultRate  = flag.Float64("faultrate", 0, "Poisson fault rate per time unit (0 = none)")
+		faultDur   = flag.Float64("faultdur", 0.05, "fault condition duration in time units")
+		seed       = flag.Int64("seed", 1, "fault injector seed")
+		recName    = flag.String("recovery", "none", "FS recovery policy: none, drop, backup or checkpoint")
+		gantt      = flag.Float64("gantt", 0, "render an ASCII Gantt chart of the first N time units")
+	)
+	flag.Parse()
+
+	alg, err := analysis.ParseAlg(*algName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	goal, err := design.ParseGoal(*goalName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tasks := repro.PaperTaskSet()
+	if *tasksPath != "" {
+		f, err := os.Open(*tasksPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tasks, err = repro.ReadTaskSet(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	pr, err := repro.NewProblem(tasks, alg, *otot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg repro.Config
+	if *designPath != "" {
+		f, err := os.Open(*designPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg, err = core.ReadConfigJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Prove the loaded design against the task set before running.
+		pr.O = cfg.O
+		if err := pr.Verify(cfg); err != nil {
+			log.Fatalf("loaded design does not fit the task set: %v", err)
+		}
+	} else {
+		sol, err := repro.Design(pr, goal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = sol.Config
+	}
+	fmt.Printf("design: P=%.4f  Q̃=[FT %.4f, FS %.4f, NF %.4f]  slack=%.4f\n\n",
+		cfg.P, cfg.UsableQ(repro.FT), cfg.UsableQ(repro.FS), cfg.UsableQ(repro.NF), cfg.Slack())
+
+	opts := repro.SimOptions{
+		Horizon:      timeu.FromUnits(*horizon),
+		Parallel:     true,
+		CollectTrace: *gantt > 0,
+	}
+	if *faultRate > 0 {
+		opts.Injector = repro.PoissonFaults{Rate: *faultRate, Duration: timeu.FromUnits(*faultDur), Seed: *seed}
+	}
+	var rec sim.Recovery
+	switch *recName {
+	case "none", "drop":
+		rec = nil
+	case "backup":
+		rec = recovery.PrimaryBackup{}
+	case "checkpoint":
+		rec = &recovery.Checkpoint{}
+	default:
+		log.Fatalf("unknown recovery policy %q", *recName)
+	}
+	opts.Recovery = rec
+
+	res, err := repro.Simulate(cfg, tasks, alg, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Summary())
+	if *gantt > 0 && res.Trace != nil {
+		fmt.Println()
+		fmt.Print(res.Trace.Gantt(0, timeu.FromUnits(*gantt), 100))
+	}
+	if res.TotalMisses() > 0 {
+		os.Exit(1)
+	}
+}

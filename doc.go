@@ -1,0 +1,36 @@
+// Package repro is a reproduction of "A Flexible Scheme for Scheduling
+// Fault-Tolerant Real-Time Tasks on Multiprocessors" (Cirinei, Bini,
+// Lipari, Ferrari — IPPS 2007).
+//
+// The paper time-partitions a 4-core lock-step multicore into three
+// periodically recurring operating modes — fault-tolerant (FT, all four
+// cores in redundant lock-step), fail-silent (FS, two lock-step pairs)
+// and non-fault-tolerant (NF, four independent cores) — and uses
+// hierarchical scheduling theory to size the slot cycle so every
+// sporadic task meets its deadline in its required mode.
+//
+// This package is the umbrella API. The pieces live in internal
+// packages:
+//
+//   - internal/task, internal/timeu: task model and time arithmetic;
+//   - internal/points, internal/analysis, internal/supply: scheduling
+//     points, Theorems 1–2, minQ (Eqs. 6 and 11), supply functions
+//     (Lemma 1 exact form, linear bound, periodic-resource comparison);
+//   - internal/core: the paper's integration conditions (Eqs. 12–15);
+//   - internal/region, internal/design: Figure 4 exploration and the
+//     two design goals of Table 2;
+//   - internal/partition, internal/workload: automatic channel
+//     assignment and synthetic workload generation;
+//   - internal/platform, internal/faults, internal/sim,
+//     internal/recovery, internal/trace: the executable platform model
+//     with fault injection and recovery policies;
+//   - internal/report: table and CSV rendering.
+//
+// A typical session: build a Problem, explore the feasible periods,
+// solve for a design goal, and validate the result in simulation:
+//
+//	pr, _ := repro.NewProblem(repro.PaperTaskSet(), repro.EDF, 0.05)
+//	sol, _ := repro.Design(pr, repro.MinOverheadBandwidth)
+//	res, _ := repro.Simulate(sol.Config, pr.Tasks, pr.Alg, repro.SimOptions{})
+//	fmt.Print(res.Summary())
+package repro

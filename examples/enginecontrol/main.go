@@ -1,0 +1,107 @@
+// Enginecontrol models the paper's motivating application (Section 2.2):
+// a car engine controller whose control loops must survive faults, while
+// the dashboard visualisation may degrade.
+//
+//   - FT: fuel injection and ignition control — wrong outputs could
+//     damage the engine, so they run on the redundant lock-step channel;
+//   - FS: knock detection and on-board diagnostics — a silent gap is
+//     acceptable, a wrong value is not;
+//   - NF: dashboard rendering, trip statistics, comfort features.
+//
+// The example auto-partitions the tasks onto channels (worst-fit
+// decreasing — the allocation step the paper leaves to the designer),
+// solves the max-flexibility design, and runs it under aggressive fault
+// injection with primary/backup recovery on the fail-silent channels.
+//
+// Run with: go run ./examples/enginecontrol
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/recovery"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	app := repro.TaskSet{
+		// Fault-tolerant control loops (ms-scale periods, here in ms).
+		{Name: "fuel-inject", C: 0.8, T: 5, Mode: repro.FT},
+		{Name: "ignition", C: 0.5, T: 5, Mode: repro.FT},
+		{Name: "lambda-ctl", C: 0.9, T: 20, Mode: repro.FT},
+		// Fail-silent monitoring.
+		{Name: "knock-detect", C: 0.7, T: 10, Mode: repro.FS},
+		{Name: "obd-diag", C: 2.0, T: 50, Mode: repro.FS},
+		{Name: "sensor-fusion", C: 1.2, T: 20, Mode: repro.FS},
+		// Best-effort visualisation and comfort.
+		{Name: "dashboard", C: 4.0, T: 40, Mode: repro.NF},
+		{Name: "trip-stats", C: 2.0, T: 100, Mode: repro.NF},
+		{Name: "climate", C: 1.5, T: 50, Mode: repro.NF},
+		{Name: "infotain", C: 5.0, T: 100, Mode: repro.NF},
+	}
+
+	// Assign channels automatically (the paper partitions by hand).
+	tasks, err := repro.AutoPartition(app, repro.EDF)
+	if err != nil {
+		log.Fatalf("partitioning failed: %v", err)
+	}
+	fmt.Println("auto-partitioned application:")
+	fmt.Println(repro.FormatTaskTable(tasks))
+
+	pr, err := repro.NewProblem(tasks, repro.EDF, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := repro.Design(pr, repro.MaxFlexibility)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design: P = %.3f ms, Q̃ = [FT %.3f, FS %.3f, NF %.3f], redistributable bandwidth %.1f%%\n\n",
+		sol.Config.P, sol.Quanta.FT, sol.Quanta.FS, sol.Quanta.NF, 100*sol.SlackBandwidth)
+
+	// Baseline: without faults the proven-feasible design must be
+	// perfect.
+	clean, err := repro.Simulate(sol.Config, tasks, repro.EDF, repro.SimOptions{
+		Horizon:  repro.FromUnits(10_000),
+		Parallel: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if clean.TotalMisses() != 0 {
+		log.Fatalf("fault-free run missed %d deadlines — design bug", clean.TotalMisses())
+	}
+	fmt.Println("fault-free baseline over 10 s: zero deadline misses (as proven)")
+	fmt.Println()
+
+	// A hostile environment: one transient fault every ~500 ms on
+	// average (still orders of magnitude above real soft-error rates).
+	res, err := repro.Simulate(sol.Config, tasks, repro.EDF, repro.SimOptions{
+		Horizon:  repro.FromUnits(10_000),
+		Injector: repro.PoissonFaults{Rate: 0.002, Duration: repro.FromUnits(0.2), Seed: 2026},
+		Recovery: recovery.PrimaryBackup{},
+		Parallel: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Summary())
+
+	fmt.Println()
+	for _, name := range []string{"fuel-inject", "ignition", "lambda-ctl"} {
+		if res.Tasks[name].Missed != 0 {
+			log.Fatalf("FT task %s missed a deadline — the design guarantee is broken", name)
+		}
+	}
+	fmt.Println("all fault-tolerant control loops met every deadline despite the fault storm;")
+	fmt.Printf("(%d faults: %d masked by the FT vote, %d silenced kills, %d NF corruptions tolerated)\n",
+		res.TotalFaults, res.Masked, res.Silenced, res.Corruptions)
+	fmt.Println()
+	fmt.Println("note: fail-silent tasks may still miss deadlines after a silencing —")
+	fmt.Println("the blocked channel steals supply the analysis assumed available.")
+	fmt.Println("The paper leaves fault-recovery time reservation to future work;")
+	fmt.Println("the backup policy here restores completions, not timing guarantees.")
+}

@@ -1,0 +1,185 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/region"
+	"repro/internal/timeu"
+)
+
+// These tests reproduce every number the paper's evaluation section
+// reports (Figure 4 and Table 2) and log paper-vs-measured pairs; run
+// with -v to regenerate the EXPERIMENTS.md data.
+
+// tol3 matches values the paper prints rounded to three decimals.
+const tol3 = 1e-3
+
+func check(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	t.Logf("%-44s paper %7.3f   measured %8.4f", what, want, got)
+	if math.Abs(got-want) > tol3 {
+		t.Errorf("%s = %.4f, want %.3f (±%g)", what, got, want, tol3)
+	}
+}
+
+// withOverhead returns a copy of the problem with a different uniform
+// total overhead (the paper varies O_tot along Figure 4).
+func withOverhead(pr Problem, total float64) Problem {
+	third := total / 3
+	pr.O = PerMode{FT: third, FS: third, NF: third}
+	return pr
+}
+
+func TestFigure4Points(t *testing.T) {
+	p1, err := MaxFeasiblePeriod(withOverhead(PaperProblem(EDF), 0), ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, "① max feasible P (EDF, Otot=0)", p1, 3.176)
+
+	p2, err := MaxFeasiblePeriod(withOverhead(PaperProblem(RM), 0), ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, "② max feasible P (RM, Otot=0)", p2, 2.381)
+
+	_, o3, err := MaxAdmissibleOverhead(PaperProblem(EDF), ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, "③ max admissible Otot (EDF)", o3, 0.201)
+
+	_, o4, err := MaxAdmissibleOverhead(PaperProblem(RM), ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, "④ max admissible Otot (RM)", o4, 0.129)
+
+	p5, err := MaxFeasiblePeriod(PaperProblem(EDF), ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, "⑤ max feasible P (EDF, Otot=0.05)", p5, 2.966)
+}
+
+func TestFigure4Curves(t *testing.T) {
+	// Qualitative reproduction of the two curves: the EDF region
+	// dominates the RM region, both peak near P≈0.9, and the curves
+	// cross zero near the points of TestFigure4Points.
+	edf, err := Explore(PaperProblem(EDF), ExploreOptions{PMax: 3.5, Samples: 350})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := Explore(PaperProblem(RM), ExploreOptions{PMax: 3.5, Samples: 350})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakEDF, peakRM := -1.0, -1.0
+	for i := range edf {
+		if edf[i].LHS < rm[i].LHS-1e-9 {
+			t.Fatalf("EDF curve below RM at P=%.3f", edf[i].P)
+		}
+		if edf[i].LHS > peakEDF {
+			peakEDF = edf[i].LHS
+		}
+		if rm[i].LHS > peakRM {
+			peakRM = rm[i].LHS
+		}
+	}
+	check(t, "EDF curve peak (= point ③)", peakEDF, 0.201)
+	check(t, "RM curve peak (= point ④)", peakRM, 0.129)
+}
+
+func TestTable2RequiredUtilization(t *testing.T) {
+	u := PaperProblem(EDF).RequiredUtilizations()
+	check(t, "Table 2(a) required U, FT", u.FT, 0.267)
+	check(t, "Table 2(a) required U, FS", u.FS, 0.267)
+	check(t, "Table 2(a) required U, NF", u.NF, 0.250)
+}
+
+func TestTable2MaxPeriodSolution(t *testing.T) {
+	sol, err := Design(PaperProblem(EDF), MinOverheadBandwidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, "Table 2(b) P", sol.Config.P, 2.966)
+	check(t, "Table 2(b) Otot/P", sol.OverheadBandwidth, 0.017)
+	check(t, "Table 2(b) Q̃_FT", sol.Quanta.FT, 0.820)
+	check(t, "Table 2(b) Q̃_FS", sol.Quanta.FS, 1.281)
+	check(t, "Table 2(b) Q̃_NF", sol.Quanta.NF, 0.815)
+	check(t, "Table 2(b) alloc U FT", sol.AllocatedU.FT, 0.276)
+	check(t, "Table 2(b) alloc U FS", sol.AllocatedU.FS, 0.432)
+	check(t, "Table 2(b) alloc U NF", sol.AllocatedU.NF, 0.275)
+	check(t, "Table 2(b) slack", sol.Slack, 0.000)
+}
+
+func TestTable2MaxSlackSolution(t *testing.T) {
+	sol, err := Design(PaperProblem(EDF), MaxFlexibility)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, "Table 2(c) P", sol.Config.P, 0.855)
+	check(t, "Table 2(c) Otot/P", sol.OverheadBandwidth, 0.059)
+	check(t, "Table 2(c) Q̃_FT", sol.Quanta.FT, 0.230)
+	check(t, "Table 2(c) Q̃_FS", sol.Quanta.FS, 0.252)
+	check(t, "Table 2(c) Q̃_NF", sol.Quanta.NF, 0.220)
+	check(t, "Table 2(c) alloc U FT", sol.AllocatedU.FT, 0.269)
+	check(t, "Table 2(c) alloc U FS", sol.AllocatedU.FS, 0.294)
+	check(t, "Table 2(c) alloc U NF", sol.AllocatedU.NF, 0.257)
+	check(t, "Table 2(c) slack", sol.Slack, 0.103)
+	check(t, "Table 2(c) slack bandwidth", sol.SlackBandwidth, 0.121)
+}
+
+func TestDesignsSimulateCleanly(t *testing.T) {
+	// End-to-end: both Table 2 designs execute 4 hyperperiods on the
+	// modelled platform with zero deadline misses.
+	b, c, err := DesignBoth(PaperProblem(EDF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sol := range []Solution{b, c} {
+		res, err := Simulate(sol.Config, PaperTaskSet(), EDF, SimOptions{
+			Horizon:  timeu.FromUnits(480),
+			Parallel: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := res.TotalMisses(); n != 0 {
+			t.Errorf("%s: %d misses\n%s", sol.Goal, n, res.Summary())
+		}
+		t.Logf("%-44s misses %d, completions %d", "simulation "+sol.Goal.String(), res.TotalMisses(), res.TotalCompleted())
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if _, err := NewProblem(nil, EDF, 0.05); err == nil {
+		t.Error("empty set should be rejected")
+	}
+	pr, err := NewProblem(PaperTaskSet(), EDF, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.O.Total() != 0.05 {
+		t.Errorf("overhead total %g, want 0.05", pr.O.Total())
+	}
+	assigned, err := AutoPartition(PaperTaskSet(), EDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := assigned.Validate(); err != nil {
+		t.Error(err)
+	}
+	ws, err := GenerateWorkload(WorkloadConfig{N: 5, TotalUtilization: 1, Seed: 1})
+	if err != nil || len(ws) != 5 {
+		t.Errorf("GenerateWorkload: %v", err)
+	}
+	if FromUnits(1) != 1_000_000_000 {
+		t.Error("FromUnits mismatch")
+	}
+	if s := FormatTaskTable(PaperTaskSet()); len(s) == 0 {
+		t.Error("empty task table")
+	}
+	var _ = region.DefaultSamples // keep the import meaningful
+}

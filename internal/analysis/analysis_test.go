@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func TestAlgString(t *testing.T) {
+	if RM.String() != "RM" || DM.String() != "DM" || EDF.String() != "EDF" {
+		t.Error("Alg.String mismatch")
+	}
+	for _, s := range []string{"RM", "rm", "DM", "dm", "EDF", "edf"} {
+		if _, err := ParseAlg(s); err != nil {
+			t.Errorf("ParseAlg(%q) failed: %v", s, err)
+		}
+	}
+	if _, err := ParseAlg("LLF"); err == nil {
+		t.Error("ParseAlg should reject unknown algorithms")
+	}
+}
+
+func TestRequestBound(t *testing.T) {
+	hp := task.Set{
+		{C: 1, T: 4, D: 4},
+		{C: 2, T: 6, D: 6},
+	}
+	// W(t) = c + ⌈t/4⌉·1 + ⌈t/6⌉·2
+	cases := []struct{ t, want float64 }{
+		{1, 3 + 1 + 2},
+		{4, 3 + 1 + 2},
+		{5, 3 + 2 + 2},
+		{12, 3 + 3 + 4},
+	}
+	for _, c := range cases {
+		if got := RequestBound(3, hp, c.t); got != c.want {
+			t.Errorf("RequestBound(3, hp, %g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if got := RequestBound(3, nil, 100); got != 3 {
+		t.Errorf("RequestBound with no hp = %g, want 3", got)
+	}
+}
+
+func TestDemandBound(t *testing.T) {
+	s := task.Set{
+		{C: 1, T: 4, D: 4},
+		{C: 2, T: 6, D: 5},
+	}
+	// task 1 contributes ⌊t/4⌋·1; task 2 contributes ⌊(t+1)/6⌋·2.
+	cases := []struct{ t, want float64 }{
+		{0, 0},
+		{3.9, 0},
+		{4, 1},
+		{5, 1 + 2},
+		{11, 2 + 4},
+		{12, 3 + 4},
+	}
+	for _, c := range cases {
+		if got := DemandBound(s, c.t); got != c.want {
+			t.Errorf("DemandBound(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestSupplyValidateAndValue(t *testing.T) {
+	if err := Full.Validate(); err != nil {
+		t.Errorf("Full supply invalid: %v", err)
+	}
+	for _, sp := range []Supply{{0, 0}, {1.5, 0}, {0.5, -1}, {-0.2, 3}} {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("supply %+v should be invalid", sp)
+		}
+	}
+	sp := Supply{Alpha: 0.5, Delta: 2}
+	if sp.Value(1) != 0 {
+		t.Error("Z'(t) must be 0 before the delay elapses")
+	}
+	if got := sp.Value(4); got != 1 {
+		t.Errorf("Z'(4) = %g, want 1", got)
+	}
+}
+
+func TestQNeededExactBoundary(t *testing.T) {
+	// For a single EDF task (C=1, T=D=4) and P=2 the minimum quantum is
+	// Q = [√((4−2)² + 4·2·1) − (4−2)]/2 = (√12 − 2)/2.
+	s := task.Set{{Name: "a", C: 1, T: 4, D: 4, Mode: task.NF}}
+	q, err := MinQ(s, EDF, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (math.Sqrt(12) - 2) / 2
+	if math.Abs(q-want) > 1e-12 {
+		t.Errorf("MinQ = %.15f, want %.15f", q, want)
+	}
+	// The supply built from exactly that quantum must satisfy Theorem 2
+	// with equality: Δ = P − Q, α = Q/P, Δ ≤ t − W(t)/α at t = 4.
+	sp := Supply{Alpha: q / 2, Delta: 2 - q}
+	ok, err := FeasibleEDF(s, sp)
+	if err != nil || !ok {
+		t.Errorf("supply at exact minQ should be feasible, got %v, %v", ok, err)
+	}
+	// Slightly less quantum must be infeasible.
+	q2 := q - 1e-6
+	ok, err = FeasibleEDF(s, Supply{Alpha: q2 / 2, Delta: 2 - q2})
+	if err != nil || ok {
+		t.Errorf("supply below minQ should be infeasible, got %v, %v", ok, err)
+	}
+}
+
+func TestMinQEmptySetAndErrors(t *testing.T) {
+	q, err := MinQ(nil, EDF, 1)
+	if err != nil || q != 0 {
+		t.Errorf("MinQ(empty) = %g, %v; want 0, nil", q, err)
+	}
+	if _, err := MinQ(task.Set{{C: 1, T: 4, D: 4}}, EDF, 0); err == nil {
+		t.Error("MinQ with P = 0 should error")
+	}
+	if _, err := MinQ(task.Set{{C: 1, T: 4, D: 4}}, EDF, -1); err == nil {
+		t.Error("MinQ with negative P should error")
+	}
+	if _, err := MinQ(task.Set{{C: 1, T: math.Pi, D: math.Pi}}, EDF, 1); err == nil {
+		t.Error("MinQ EDF with irrational period should error")
+	}
+}
+
+func TestMinQMonotoneInPeriod(t *testing.T) {
+	// minQ is strictly increasing in P for non-empty sets: a longer
+	// period means longer starvation intervals, so more quantum is
+	// needed. Check on the paper's FT subset for both algorithms.
+	s := task.PaperTaskSet().ByMode(task.FT)
+	for _, alg := range []Alg{RM, EDF} {
+		prev := 0.0
+		for p := 0.25; p <= 4.0; p += 0.25 {
+			q, err := MinQ(s, alg, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q <= prev {
+				t.Errorf("%s: MinQ(P=%g) = %g not greater than MinQ at previous P (%g)", alg, p, q, prev)
+			}
+			prev = q
+		}
+	}
+}
+
+func TestMinQRMAtLeastEDF(t *testing.T) {
+	// Every RM-schedulable set is EDF-schedulable, so RM can never need
+	// a smaller quantum than EDF.
+	sets := []task.Set{
+		task.PaperTaskSet().ByMode(task.FT),
+		task.PaperTaskSet().ByChannel(task.FS, 0),
+		task.PaperTaskSet().ByChannel(task.NF, 1),
+	}
+	for _, s := range sets {
+		for _, p := range []float64{0.5, 1, 2, 3} {
+			qrm, err1 := MinQ(s, RM, p)
+			qedf, err2 := MinQ(s, EDF, p)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if qrm < qedf-1e-9 {
+				t.Errorf("set %v P=%g: MinQ RM %g < EDF %g", s.Names(), p, qrm, qedf)
+			}
+		}
+	}
+}
+
+func TestMinQInversionConsistency(t *testing.T) {
+	// For random feasible-ish sets: supply with Q = minQ(P) + ε must be
+	// feasible, supply with Q = minQ(P) − ε must not (when Q < P so the
+	// supply is well-formed).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		s := randomSet(rng, 1+rng.Intn(4))
+		for _, alg := range []Alg{RM, EDF} {
+			p := 0.5 + rng.Float64()*2
+			q, err := MinQ(s, alg, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q <= 0 || q >= p {
+				continue // set needs more than the whole slot; nothing to invert
+			}
+			up := math.Min(q+1e-7, p)
+			okUp, err := Feasible(s, alg, Supply{Alpha: up / p, Delta: p - up})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !okUp {
+				t.Errorf("%s trial %d: supply just above minQ=%g (P=%g) infeasible for %v", alg, trial, q, p, s.Names())
+			}
+			down := q - 1e-7
+			if down <= 0 {
+				continue
+			}
+			okDown, err := Feasible(s, alg, Supply{Alpha: down / p, Delta: p - down})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if okDown {
+				t.Errorf("%s trial %d: supply just below minQ=%g (P=%g) feasible for %v", alg, trial, q, p, s.Names())
+			}
+		}
+	}
+}
+
+func TestFeasibleFPRejectsEDF(t *testing.T) {
+	if _, err := FeasibleFP(nil, EDF, Full); err == nil {
+		t.Error("FeasibleFP must reject EDF")
+	}
+	if _, err := FeasibleFP(nil, RM, Supply{Alpha: 2}); err == nil {
+		t.Error("FeasibleFP must validate the supply")
+	}
+	if _, err := MinQ(task.Set{{C: 1, T: 2, D: 2}}, Alg(9), 1); err == nil {
+		t.Error("MinQ must reject unknown algorithms")
+	}
+}
+
+func TestFeasibleEDFUtilizationGate(t *testing.T) {
+	s := task.Set{{C: 3, T: 4, D: 4}} // U = 0.75
+	ok, err := FeasibleEDF(s, Supply{Alpha: 0.5, Delta: 0})
+	if err != nil || ok {
+		t.Errorf("U=0.75 on α=0.5 must be infeasible, got %v, %v", ok, err)
+	}
+}
+
+// randomSet produces a small set with integer periods (so the EDF
+// hyperperiod stays representable) and utilisation comfortably below 1.
+func randomSet(rng *rand.Rand, n int) task.Set {
+	periods := []float64{4, 5, 6, 8, 10, 12, 15, 20}
+	s := make(task.Set, n)
+	for i := range s {
+		T := periods[rng.Intn(len(periods))]
+		c := 1 + rng.Float64()*(T/4-1)
+		d := T
+		if rng.Intn(2) == 0 {
+			d = c + rng.Float64()*(T-c) // constrained deadline in [c, T]
+		}
+		s[i] = task.Task{Name: string(rune('a' + i)), C: c, T: T, D: d, Mode: task.NF}
+	}
+	return s
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func TestJitterValidate(t *testing.T) {
+	s := task.Set{{Name: "a", C: 1, T: 10, D: 10}}
+	if err := (Jitter{"a": 2}).Validate(s); err != nil {
+		t.Errorf("valid jitter rejected: %v", err)
+	}
+	if err := (Jitter{"a": -1}).Validate(s); err == nil {
+		t.Error("negative jitter should be rejected")
+	}
+	if err := (Jitter{"zz": 1}).Validate(s); err == nil {
+		t.Error("unknown task should be rejected")
+	}
+	if err := (Jitter{"a": 9.5}).Validate(s); err == nil {
+		t.Error("jitter beyond D−C should be rejected")
+	}
+	if err := (Jitter(nil)).Validate(s); err != nil {
+		t.Error("nil jitter map is fine")
+	}
+}
+
+func TestDemandBoundJitterReducesToBase(t *testing.T) {
+	s := task.Set{
+		{Name: "a", C: 1, T: 4, D: 4},
+		{Name: "b", C: 2, T: 6, D: 5},
+	}
+	for _, tt := range []float64{0, 1, 3.9, 4, 5, 11, 12, 24} {
+		base := DemandBound(s, tt)
+		withZero := DemandBoundJitter(s, nil, tt)
+		if base != withZero {
+			t.Errorf("t=%g: jitter-free demand %g != base %g", tt, withZero, base)
+		}
+	}
+}
+
+func TestDemandBoundJitterGrows(t *testing.T) {
+	// Jitter 1 on task a shifts its demand steps one unit earlier:
+	// at t = 3 the first job of a is already due.
+	s := task.Set{{Name: "a", C: 1, T: 4, D: 4}}
+	j := Jitter{"a": 1}
+	if got := DemandBoundJitter(s, j, 3); got != 1 {
+		t.Errorf("W_J(3) = %g, want 1", got)
+	}
+	if got := DemandBound(s, 3); got != 0 {
+		t.Errorf("W(3) = %g, want 0", got)
+	}
+	// Monotone in jitter at every point.
+	for _, tt := range []float64{1, 3, 5, 7, 12} {
+		if DemandBoundJitter(s, j, tt) < DemandBound(s, tt) {
+			t.Errorf("t=%g: jitter decreased demand", tt)
+		}
+	}
+}
+
+func TestFeasibleEDFJitterMatchesBaseAtZero(t *testing.T) {
+	s := task.PaperTaskSet().ByMode(task.FT)
+	for _, sp := range []Supply{{0.3, 1}, {0.27, 2.2}, {0.5, 0.1}} {
+		base, err1 := FeasibleEDF(s, sp)
+		zero, err2 := FeasibleEDFJitter(s, nil, sp)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if base != zero {
+			t.Errorf("supply %+v: base %v, zero-jitter %v", sp, base, zero)
+		}
+	}
+}
+
+func TestJitterShrinksFeasibility(t *testing.T) {
+	// Find a supply that is feasible without jitter but not with it.
+	s := task.Set{{Name: "a", C: 1, T: 4, D: 4, Mode: task.NF}}
+	q, err := MinQ(s, EDF, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Supply{Alpha: (q + 1e-4) / 2, Delta: 2 - (q + 1e-4)}
+	ok, err := FeasibleEDFJitter(s, nil, sp)
+	if err != nil || !ok {
+		t.Fatal("baseline should be feasible", ok, err)
+	}
+	ok, err = FeasibleEDFJitter(s, Jitter{"a": 2}, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("2 units of jitter should break the marginal supply")
+	}
+}
+
+func TestMinQEDFJitter(t *testing.T) {
+	s := task.Set{{Name: "a", C: 1, T: 4, D: 4, Mode: task.NF}}
+	q0, err := MinQEDFJitter(s, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := MinQ(s, EDF, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q0-base) > 1e-12 {
+		t.Errorf("zero-jitter minQ %g != base %g", q0, base)
+	}
+	prev := q0
+	for _, jv := range []float64{0.5, 1, 2, 3} {
+		q, err := MinQEDFJitter(s, Jitter{"a": jv}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q < prev-1e-12 {
+			t.Errorf("minQ should grow with jitter: J=%g gives %g < %g", jv, q, prev)
+		}
+		prev = q
+	}
+	// The jittered quantum must satisfy the jittered theorem.
+	j := Jitter{"a": 2}
+	q, err := MinQEDFJitter(s, j, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := FeasibleEDFJitter(s, j, Supply{Alpha: q / 2, Delta: 2 - q})
+	if err != nil || !ok {
+		t.Errorf("quantum from jittered minQ should be feasible: %v %v", ok, err)
+	}
+}
+
+func TestMinQEDFJitterErrors(t *testing.T) {
+	s := task.Set{{Name: "a", C: 1, T: 4, D: 4}}
+	if _, err := MinQEDFJitter(s, nil, 0); err == nil {
+		t.Error("P=0 should error")
+	}
+	if _, err := MinQEDFJitter(s, Jitter{"a": -1}, 1); err == nil {
+		t.Error("invalid jitter should error")
+	}
+	if q, err := MinQEDFJitter(nil, nil, 1); err != nil || q != 0 {
+		t.Error("empty set needs nothing")
+	}
+	if _, err := FeasibleEDFJitter(s, nil, Supply{Alpha: 2}); err == nil {
+		t.Error("invalid supply should error")
+	}
+}

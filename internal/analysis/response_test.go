@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func TestResponseTimeOnSupplyFullReducesToRTA(t *testing.T) {
+	hp := task.Set{{C: 1, T: 4, D: 4}, {C: 2, T: 6, D: 6}}
+	classic := ResponseTime(3, hp, 12)
+	onFull := ResponseTimeOnSupply(3, hp, Full, 12)
+	if math.Abs(classic-onFull) > 1e-9 {
+		t.Errorf("on Full supply: %g, classic RTA: %g", onFull, classic)
+	}
+}
+
+func TestResponseTimeOnSupplyLoneTask(t *testing.T) {
+	// No interference: R = Δ + C/α exactly.
+	sp := Supply{Alpha: 0.25, Delta: 1.5}
+	got := ResponseTimeOnSupply(1, nil, sp, 100)
+	if math.Abs(got-(1.5+4)) > 1e-9 {
+		t.Errorf("R = %g, want 5.5", got)
+	}
+}
+
+func TestResponseTimeOnSupplyExceedsBound(t *testing.T) {
+	sp := Supply{Alpha: 0.25, Delta: 1.5}
+	if r := ResponseTimeOnSupply(1, nil, sp, 5); !math.IsInf(r, 1) {
+		t.Errorf("bound 5 < 5.5 should give +Inf, got %g", r)
+	}
+	if r := ResponseTimeOnSupply(1, nil, Supply{Alpha: 2}, 5); !math.IsInf(r, 1) {
+		t.Error("invalid supply should give +Inf")
+	}
+}
+
+func TestResponseTimeOnSupplyWithInterference(t *testing.T) {
+	// hp task (C=1, T=4) on supply α=0.5, Δ=1. Start R₀ = 1 + 2/0.5 = 5.
+	// W(5) = 2 + ⌈5/4⌉ = 4 → R = 1 + 8 = 9. W(9) = 2+3 = 5 → R = 11.
+	// W(11) = 2+3 = 5 → R = 11. Fixed point 11.
+	hp := task.Set{{C: 1, T: 4, D: 4}}
+	got := ResponseTimeOnSupply(2, hp, Supply{Alpha: 0.5, Delta: 1}, 20)
+	if math.Abs(got-11) > 1e-9 {
+		t.Errorf("R = %g, want 11", got)
+	}
+}
+
+func TestResponseTimesOrderAndFeasibility(t *testing.T) {
+	s := task.Set{
+		{Name: "lo", C: 2, T: 20, D: 20},
+		{Name: "hi", C: 1, T: 5, D: 5},
+	}
+	sp := Supply{Alpha: 0.5, Delta: 0.5}
+	rs, err := ResponseTimes(s, RM, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatal("wrong length")
+	}
+	// Results in input order: rs[0] is "lo", rs[1] is "hi".
+	if rs[1] >= rs[0] {
+		t.Errorf("high-priority task should respond faster: hi=%g lo=%g", rs[1], rs[0])
+	}
+	// Consistency with Theorem 1: finite bounds ⇒ feasible.
+	finite := !math.IsInf(rs[0], 1) && !math.IsInf(rs[1], 1)
+	ok, err := FeasibleFP(s, RM, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finite != ok {
+		t.Errorf("response bounds finite=%v but Theorem1=%v", finite, ok)
+	}
+	if _, err := ResponseTimes(s, EDF, sp); err == nil {
+		t.Error("EDF must be rejected")
+	}
+}
+
+func TestResponseBoundsNeverBelowClassic(t *testing.T) {
+	// A partial supply can only slow tasks down relative to a dedicated
+	// processor.
+	s := task.PaperTaskSet().ByMode(task.FT).SortedRM()
+	sp := Supply{Alpha: 0.4, Delta: 1.0}
+	for i, tk := range s {
+		partial := ResponseTimeOnSupply(tk.C, s[:i], sp, tk.D)
+		full := ResponseTime(tk.C, s[:i], tk.D)
+		if partial < full-1e-9 {
+			t.Errorf("%s: partial-supply bound %g below full-processor %g", tk.Name, partial, full)
+		}
+	}
+}

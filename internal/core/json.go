@@ -1,0 +1,54 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonConfig is the wire form of a Config, a small self-describing
+// design file so that a solved design can be handed from ftdesign to
+// ftsim (or archived with an experiment).
+type jsonConfig struct {
+	P float64 `json:"p"`
+	Q struct {
+		FT float64 `json:"ft"`
+		FS float64 `json:"fs"`
+		NF float64 `json:"nf"`
+	} `json:"q"`
+	O struct {
+		FT float64 `json:"ft"`
+		FS float64 `json:"fs"`
+		NF float64 `json:"nf"`
+	} `json:"o"`
+}
+
+// WriteJSON writes the configuration as an indented design file.
+func (c Config) WriteJSON(w io.Writer) error {
+	var j jsonConfig
+	j.P = c.P
+	j.Q.FT, j.Q.FS, j.Q.NF = c.Q.FT, c.Q.FS, c.Q.NF
+	j.O.FT, j.O.FS, j.O.NF = c.O.FT, c.O.FS, c.O.NF
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+// ReadConfigJSON parses and validates a design file.
+func ReadConfigJSON(r io.Reader) (Config, error) {
+	var j jsonConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return Config{}, fmt.Errorf("core: parsing design file: %w", err)
+	}
+	cfg := Config{
+		P: j.P,
+		Q: PerMode{FT: j.Q.FT, FS: j.Q.FS, NF: j.Q.NF},
+		O: PerMode{FT: j.O.FT, FS: j.O.FS, NF: j.O.NF},
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	pr := paperProblem()
+	cfg, err := pr.ConfigFor(2.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cfg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadConfigJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.P-cfg.P) > 1e-12 ||
+		math.Abs(got.Q.FT-cfg.Q.FT) > 1e-12 ||
+		math.Abs(got.Q.FS-cfg.Q.FS) > 1e-12 ||
+		math.Abs(got.Q.NF-cfg.Q.NF) > 1e-12 ||
+		math.Abs(got.O.Total()-cfg.O.Total()) > 1e-12 {
+		t.Errorf("round trip changed the config:\n got %+v\nwant %+v", got, cfg)
+	}
+	// The round-tripped design still verifies.
+	if err := pr.Verify(got); err != nil {
+		t.Errorf("round-tripped config fails verification: %v", err)
+	}
+}
+
+func TestReadConfigJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        "nope",
+		"unknown fields": `{"p": 1, "bogus": 2}`,
+		"invalid config": `{"p": -1}`,
+		"slot overflow":  `{"p": 1, "q": {"ft": 0.5, "fs": 0.5, "nf": 0.5}}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadConfigJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s should be rejected", name)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package design turns a design problem into concrete platform
+// configurations, implementing the two design goals worked through in
+// Section 4 of the paper:
+//
+//   - MinOverheadBandwidth: minimise the bandwidth wasted in mode
+//     switches, O_tot/P, by selecting the maximum feasible period
+//     (Table 2(b)). All inequalities hold with equality; the quanta
+//     cannot be enlarged at run time.
+//   - MaxFlexibility: maximise the slack bandwidth (lhs(P) − O_tot)/P
+//     that can be redistributed among the modes at run time
+//     (Table 2(c)).
+package design
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/region"
+	"repro/internal/task"
+)
+
+// Goal selects the design objective.
+type Goal int
+
+const (
+	// MinOverheadBandwidth picks the maximum feasible period, minimising
+	// O_tot/P (first design goal of Section 4).
+	MinOverheadBandwidth Goal = iota
+	// MaxFlexibility picks the period that maximises the redistributable
+	// slack bandwidth (second design goal of Section 4).
+	MaxFlexibility
+)
+
+// String names the goal.
+func (g Goal) String() string {
+	switch g {
+	case MinOverheadBandwidth:
+		return "min-overhead-bandwidth"
+	case MaxFlexibility:
+		return "max-flexibility"
+	}
+	return fmt.Sprintf("Goal(%d)", int(g))
+}
+
+// ParseGoal converts a CLI-style goal name to a Goal.
+func ParseGoal(s string) (Goal, error) {
+	switch s {
+	case "min-overhead-bandwidth", "max-period", "minoverhead":
+		return MinOverheadBandwidth, nil
+	case "max-flexibility", "max-slack", "maxslack":
+		return MaxFlexibility, nil
+	}
+	return 0, fmt.Errorf("design: unknown goal %q", s)
+}
+
+// Solution is a fully worked design: the configuration plus the derived
+// quantities reported in Table 2 of the paper.
+type Solution struct {
+	Goal    Goal
+	Problem core.Problem
+	Config  core.Config
+
+	// Quanta are the usable slot lengths Q̃_k (the "length" rows of
+	// Table 2).
+	Quanta core.PerMode
+	// RequiredU is max_i U(T_k^i) per mode (Table 2(a)).
+	RequiredU core.PerMode
+	// AllocatedU is Q̃_k/P per mode (the "alloc. util." rows).
+	AllocatedU core.PerMode
+	// OverheadBandwidth is O_tot/P, the bandwidth lost to mode switches.
+	OverheadBandwidth float64
+	// Slack is the unallocated time per period, redistributable at run
+	// time.
+	Slack float64
+	// SlackBandwidth is Slack/P (12.1 % in Table 2(c)).
+	SlackBandwidth float64
+}
+
+// Solve computes the solution for the given goal. Pass a zero Options
+// for the defaults (search bound derived from the task set).
+func Solve(pr core.Problem, goal Goal, opts region.Options) (Solution, error) {
+	if err := pr.Validate(); err != nil {
+		return Solution{}, err
+	}
+	var p float64
+	var err error
+	switch goal {
+	case MinOverheadBandwidth:
+		p, err = region.MaxFeasiblePeriod(pr, opts)
+	case MaxFlexibility:
+		p, _, err = region.MaxSlackBandwidth(pr, opts)
+	default:
+		return Solution{}, fmt.Errorf("design: unknown goal %d", int(goal))
+	}
+	if err != nil {
+		return Solution{}, err
+	}
+	return At(pr, goal, p)
+}
+
+// At builds the full solution at an explicit period (used to reproduce
+// the paper's tables at their exact printed periods, and by Solve).
+func At(pr core.Problem, goal Goal, p float64) (Solution, error) {
+	cfg, err := pr.ConfigFor(p)
+	if err != nil {
+		return Solution{}, err
+	}
+	if err := pr.Verify(cfg); err != nil {
+		return Solution{}, fmt.Errorf("design: solution fails verification: %w", err)
+	}
+	var quanta core.PerMode
+	for _, m := range task.Modes() {
+		quanta = quanta.With(m, cfg.UsableQ(m))
+	}
+	return Solution{
+		Goal:              goal,
+		Problem:           pr,
+		Config:            cfg,
+		Quanta:            quanta,
+		RequiredU:         pr.RequiredUtilizations(),
+		AllocatedU:        core.AllocatedUtilizations(cfg),
+		OverheadBandwidth: pr.O.Total() / p,
+		Slack:             cfg.Slack(),
+		SlackBandwidth:    cfg.Slack() / p,
+	}, nil
+}
+
+// Both solves the two goals of Section 4 side by side — rows (b) and (c)
+// of Table 2.
+func Both(pr core.Problem, opts region.Options) (maxPeriod, maxSlack Solution, err error) {
+	maxPeriod, err = Solve(pr, MinOverheadBandwidth, opts)
+	if err != nil {
+		return Solution{}, Solution{}, err
+	}
+	maxSlack, err = Solve(pr, MaxFlexibility, opts)
+	if err != nil {
+		return Solution{}, Solution{}, err
+	}
+	return maxPeriod, maxSlack, nil
+}

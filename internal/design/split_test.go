@@ -1,0 +1,222 @@
+package design
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/supply"
+	"repro/internal/task"
+)
+
+func TestSplitPatternMatchesSlotAtK1(t *testing.T) {
+	// k = 1 must reproduce the single-slot exact analysis.
+	s := task.PaperTaskSet().ByMode(task.FT)
+	for _, p := range []float64{1.0, 2.0} {
+		q1, ok1, err1 := supply.MinQSplit(s, analysis.EDF, p, 1)
+		qe, oke, erre := supply.MinQExact(s, analysis.EDF, p)
+		if err1 != nil || erre != nil || !ok1 || !oke {
+			t.Fatal(err1, erre, ok1, oke)
+		}
+		if math.Abs(q1-qe) > 1e-6 {
+			t.Errorf("P=%g: MinQSplit(k=1) = %g, MinQExact = %g", p, q1, qe)
+		}
+	}
+}
+
+func TestSplittingNeverWorseThanSingleSlot(t *testing.T) {
+	// k evenly spaced sub-slots supply at least as much as one slot in
+	// every window, so the required quantum can only shrink relative to
+	// k = 1. (Between adjacent k > 1 the relation is NOT monotone —
+	// alignment with the deadlines matters — so only k vs 1 is law.)
+	for _, s := range []task.Set{
+		task.PaperTaskSet().ByMode(task.FT),
+		task.PaperTaskSet().ByChannel(task.FS, 1),
+	} {
+		for _, p := range []float64{1.3, 1.7, 2.0} {
+			q1, ok, err := supply.MinQSplit(s, analysis.EDF, p, 1)
+			if err != nil || !ok {
+				t.Fatal(err, ok)
+			}
+			for k := 2; k <= 4; k++ {
+				qk, ok, err := supply.MinQSplit(s, analysis.EDF, p, k)
+				if err != nil || !ok {
+					t.Fatal(err, ok)
+				}
+				if qk > q1+1e-6 {
+					t.Errorf("%v P=%g k=%d: quantum %g exceeds single-slot %g", s.Names(), p, k, qk, q1)
+				}
+			}
+		}
+	}
+}
+
+func TestSplittingStrictBenefitAtMisalignedPeriod(t *testing.T) {
+	// At P = 1.7 (deadlines not multiples of the period) splitting τ9's
+	// channel into 3 sub-slots genuinely reduces the required quantum;
+	// at P = 2.0 every paper deadline is a period multiple and the
+	// benefit provably vanishes (supply over whole periods is k·q/k
+	// regardless of the split).
+	fs1 := task.PaperTaskSet().ByChannel(task.FS, 1)
+	q1, _, err := supply.MinQSplit(fs1, analysis.EDF, 1.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3, _, err := supply.MinQSplit(fs1, analysis.EDF, 1.7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3 >= q1-1e-4 {
+		t.Errorf("P=1.7: expected strict benefit from 3 sub-slots, got %g vs %g", q3, q1)
+	}
+	a1, _, err := supply.MinQSplit(fs1, analysis.EDF, 2.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a4, _, err := supply.MinQSplit(fs1, analysis.EDF, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a1-a4) > 1e-6 {
+		t.Errorf("P=2.0: aligned deadlines should nullify the benefit: %g vs %g", a1, a4)
+	}
+}
+
+func TestMinQSplitErrors(t *testing.T) {
+	s := task.Set{{Name: "a", C: 1, T: 4, D: 4, Mode: task.NF}}
+	if _, _, err := supply.MinQSplit(s, analysis.EDF, 0, 1); err == nil {
+		t.Error("P=0 should error")
+	}
+	if _, _, err := supply.MinQSplit(s, analysis.EDF, 1, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if q, ok, err := supply.MinQSplit(nil, analysis.EDF, 1, 2); err != nil || !ok || q != 0 {
+		t.Error("empty set should need nothing")
+	}
+	if _, err := supply.SplitPattern(2, 3, 2); err == nil {
+		t.Error("q > p should be rejected")
+	}
+	if _, err := supply.SplitPattern(2, 1, 0); err == nil {
+		t.Error("k=0 pattern should be rejected")
+	}
+}
+
+func TestSolveSplitAtPaperProblem(t *testing.T) {
+	pr := paperProblem()
+	// At the single-slot boundary period the k=1 split must also be
+	// feasible (exact analysis dominates the linear bound the boundary
+	// was computed with).
+	sol, err := SolveSplitAt(pr, 2.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Slack < 0 {
+		t.Errorf("negative slack %g", sol.Slack)
+	}
+	// Beyond the single-slot maximum (2.966 with the linear bound),
+	// splitting in two still finds a design: the delay halves.
+	sol2, err := SolveSplitAt(pr, 3.4, 2)
+	if err != nil {
+		t.Fatalf("P=3.4 with k=2 should be feasible: %v", err)
+	}
+	if sol2.K != 2 {
+		t.Error("wrong K")
+	}
+}
+
+func TestSplitOverheadTradeoff(t *testing.T) {
+	// With zero overheads, more sub-slots never hurt: allocation is
+	// monotone non-increasing in k.
+	free := paperProblem()
+	free.O = core.Overheads{}
+	prev := math.Inf(1)
+	for k := 1; k <= 3; k++ {
+		sol, err := SolveSplitAt(free, 2.0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Allocated > prev+1e-9 {
+			t.Errorf("zero-overhead allocation grew at k=%d: %g > %g", k, sol.Allocated, prev)
+		}
+		prev = sol.Allocated
+	}
+	// With heavy overheads, k=1 must beat k=3: each extra switch costs.
+	costly := paperProblem()
+	costly.O = core.UniformOverheads(0.15)
+	k1, err := SolveSplitAt(costly, 2.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, err := SolveSplitAt(costly, 2.0, 3)
+	if err == nil && k3.Allocated < k1.Allocated {
+		t.Errorf("heavy overheads: k=3 allocation %g should not beat k=1's %g", k3.Allocated, k1.Allocated)
+	}
+}
+
+func TestBestSplit(t *testing.T) {
+	pr := paperProblem()
+	best, err := BestSplit(pr, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.K < 1 || best.K > 4 {
+		t.Errorf("BestSplit K = %d out of range", best.K)
+	}
+	// Best must be at least as good as k = 1.
+	k1, err := SolveSplitAt(pr, 2.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Allocated > k1.Allocated+1e-9 {
+		t.Errorf("BestSplit allocation %g worse than k=1's %g", best.Allocated, k1.Allocated)
+	}
+	if _, err := BestSplit(pr, 2.0, 0); err == nil {
+		t.Error("kMax=0 should error")
+	}
+	// A period far beyond the tightest deadline (τ9's D = 4) cannot be
+	// rescued by two sub-slots: the frames are still 15 long.
+	if _, err := BestSplit(pr, 30.0, 2); err == nil {
+		t.Error("absurd period should have no feasible split")
+	}
+}
+
+func TestUniformSplitEquivalentToShorterPeriod(t *testing.T) {
+	// A structural identity worth pinning down: k evenly spaced
+	// sub-slots of q/k over period P form the same periodic pattern as a
+	// single slot of q/k over period P/k, so
+	//
+	//	MinQSplit(s, alg, P, k) = k · MinQExact(s, alg, P/k).
+	//
+	// The uniform split therefore explores the same design space as
+	// shrinking the period (with overheads also paid k times — i.e. once
+	// per P/k). The Pattern machinery only adds power for *non-uniform*
+	// layouts (different counts per mode), which the paper's Section 5
+	// leaves open.
+	s := task.PaperTaskSet().ByChannel(task.FS, 1)
+	for _, p := range []float64{1.3, 1.7, 2.0} {
+		for k := 2; k <= 4; k++ {
+			split, ok1, err1 := supply.MinQSplit(s, analysis.EDF, p, k)
+			exact, ok2, err2 := supply.MinQExact(s, analysis.EDF, p/float64(k))
+			if err1 != nil || err2 != nil || !ok1 || !ok2 {
+				t.Fatal(err1, err2, ok1, ok2)
+			}
+			if math.Abs(split-float64(k)*exact) > 1e-5 {
+				t.Errorf("P=%g k=%d: MinQSplit %g != k·MinQExact(P/k) %g", p, k, split, float64(k)*exact)
+			}
+		}
+	}
+}
+
+func TestSolveSplitAtErrors(t *testing.T) {
+	pr := paperProblem()
+	if _, err := SolveSplitAt(pr, -1, 1); err == nil {
+		t.Error("negative period should error")
+	}
+	if _, err := SolveSplitAt(pr, 2, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := SolveSplitAt(core.Problem{}, 2, 1); err == nil {
+		t.Error("invalid problem should error")
+	}
+}

@@ -1,0 +1,153 @@
+// Package faults models transient soft errors (Section 2.1 of the
+// paper): a low-energy particle strikes one core, the faulty condition
+// lasts a short bounded interval, and after it clears only wrong values
+// may remain. The paper's analysis rests on the single-transient-fault
+// assumption — at most one fault affects the system at a time — which
+// this package can both enforce (ValidateSingleFault) and generate
+// within (the injectors keep faults disjoint).
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/timeu"
+)
+
+// NumCores is the number of cores of the paper's platform.
+const NumCores = 4
+
+// Fault is one transient soft error.
+type Fault struct {
+	// At is the strike instant.
+	At timeu.Ticks
+	// Core is the struck core, in [0, NumCores). A single particle can
+	// strike only one core, even on a multicore die (Section 2.1).
+	Core int
+	// Duration is how long the faulty condition lasts. The core
+	// misbehaves during [At, At+Duration).
+	Duration timeu.Ticks
+}
+
+// End returns the instant the faulty condition clears.
+func (f Fault) End() timeu.Ticks { return f.At + f.Duration }
+
+// Validate checks the fault's fields.
+func (f Fault) Validate() error {
+	if f.At < 0 {
+		return fmt.Errorf("faults: strike time %d negative", f.At)
+	}
+	if f.Core < 0 || f.Core >= NumCores {
+		return fmt.Errorf("faults: core %d out of range [0, %d)", f.Core, NumCores)
+	}
+	if f.Duration <= 0 {
+		return fmt.Errorf("faults: duration %d must be positive", f.Duration)
+	}
+	return nil
+}
+
+// ValidateSingleFault checks the single-transient-fault assumption over
+// a schedule of faults: strikes sorted in time, and no fault begins
+// before the previous one (plus a recovery gap) has cleared.
+func ValidateSingleFault(fs []Fault, recoveryGap timeu.Ticks) error {
+	for i, f := range fs {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+		if i == 0 {
+			continue
+		}
+		prev := fs[i-1]
+		if f.At < prev.At {
+			return fmt.Errorf("faults: schedule not sorted at index %d", i)
+		}
+		if f.At < prev.End()+recoveryGap {
+			return fmt.Errorf("faults: fault at %s overlaps fault ending %s (+gap %s): single-fault assumption violated",
+				f.At, prev.End(), recoveryGap)
+		}
+	}
+	return nil
+}
+
+// Injector produces a fault schedule over a horizon.
+type Injector interface {
+	// Schedule returns the faults striking within [0, horizon), sorted
+	// by strike time and respecting the single-fault assumption.
+	Schedule(horizon timeu.Ticks) ([]Fault, error)
+}
+
+// Script replays a fixed fault list. It implements Injector.
+type Script []Fault
+
+// Schedule returns the scripted faults within the horizon, sorted, after
+// validating the single-fault assumption.
+func (s Script) Schedule(horizon timeu.Ticks) ([]Fault, error) {
+	out := make([]Fault, 0, len(s))
+	for _, f := range s {
+		if f.At < horizon {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	if err := ValidateSingleFault(out, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Poisson injects faults with exponentially distributed inter-arrival
+// times (the usual soft-error model: strikes are independent rare
+// events), uniform core choice and fixed duration. Inter-arrival times
+// shorter than the previous fault's duration are stretched so the
+// single-fault assumption holds by construction, mirroring the paper's
+// observation that realistic soft-error rates leave time to recover
+// between faults.
+type Poisson struct {
+	// Rate is the expected number of faults per time unit. Soft-error
+	// rates are tiny; simulations use exaggerated rates to exercise the
+	// machinery.
+	Rate float64
+	// Duration of each fault condition.
+	Duration timeu.Ticks
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Schedule generates the Poisson fault schedule over [0, horizon).
+func (p Poisson) Schedule(horizon timeu.Ticks) ([]Fault, error) {
+	if p.Rate < 0 {
+		return nil, fmt.Errorf("faults: negative rate %g", p.Rate)
+	}
+	if p.Rate == 0 {
+		return nil, nil
+	}
+	if p.Duration <= 0 {
+		return nil, fmt.Errorf("faults: duration %d must be positive", p.Duration)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	var out []Fault
+	now := timeu.Ticks(0)
+	for {
+		gap := timeu.FromUnits(rng.ExpFloat64() / p.Rate)
+		if gap < 1 {
+			gap = 1
+		}
+		now += gap
+		if now >= horizon {
+			break
+		}
+		out = append(out, Fault{At: now, Core: rng.Intn(NumCores), Duration: p.Duration})
+		now += p.Duration // next inter-arrival starts after the clear
+	}
+	if err := ValidateSingleFault(out, 0); err != nil {
+		return nil, err // unreachable by construction; defensive
+	}
+	return out, nil
+}
+
+// None is an Injector producing no faults.
+type None struct{}
+
+// Schedule returns an empty schedule.
+func (None) Schedule(timeu.Ticks) ([]Fault, error) { return nil, nil }

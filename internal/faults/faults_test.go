@@ -1,0 +1,157 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/timeu"
+)
+
+func TestFaultValidate(t *testing.T) {
+	good := Fault{At: 10, Core: 3, Duration: 5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid fault rejected: %v", err)
+	}
+	if good.End() != 15 {
+		t.Errorf("End = %d, want 15", good.End())
+	}
+	bad := []Fault{
+		{At: -1, Core: 0, Duration: 1},
+		{At: 0, Core: -1, Duration: 1},
+		{At: 0, Core: 4, Duration: 1},
+		{At: 0, Core: 0, Duration: 0},
+		{At: 0, Core: 0, Duration: -2},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("fault %d should be invalid: %+v", i, f)
+		}
+	}
+}
+
+func TestValidateSingleFault(t *testing.T) {
+	ok := []Fault{
+		{At: 0, Core: 0, Duration: 5},
+		{At: 10, Core: 1, Duration: 5},
+	}
+	if err := ValidateSingleFault(ok, 0); err != nil {
+		t.Errorf("disjoint schedule rejected: %v", err)
+	}
+	if err := ValidateSingleFault(ok, 6); err == nil {
+		t.Error("recovery gap of 6 should reject a 5-tick separation")
+	}
+	overlap := []Fault{
+		{At: 0, Core: 0, Duration: 5},
+		{At: 3, Core: 1, Duration: 5},
+	}
+	if err := ValidateSingleFault(overlap, 0); err == nil {
+		t.Error("overlapping faults violate the single-fault assumption")
+	}
+	unsorted := []Fault{
+		{At: 10, Core: 0, Duration: 1},
+		{At: 0, Core: 1, Duration: 1},
+	}
+	if err := ValidateSingleFault(unsorted, 0); err == nil {
+		t.Error("unsorted schedule should be rejected")
+	}
+	if err := ValidateSingleFault(nil, 0); err != nil {
+		t.Error("empty schedule is trivially fine")
+	}
+}
+
+func TestScriptSchedule(t *testing.T) {
+	s := Script{
+		{At: 50, Core: 1, Duration: 5},
+		{At: 10, Core: 0, Duration: 5},
+		{At: 200, Core: 2, Duration: 5},
+	}
+	got, err := s.Schedule(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("schedule has %d faults, want 2 (horizon clips the third)", len(got))
+	}
+	if got[0].At != 10 || got[1].At != 50 {
+		t.Error("schedule must be sorted by strike time")
+	}
+	overlapping := Script{
+		{At: 10, Core: 0, Duration: 10},
+		{At: 15, Core: 1, Duration: 10},
+	}
+	if _, err := overlapping.Schedule(100); err == nil {
+		t.Error("overlapping script should be rejected")
+	}
+}
+
+func TestPoissonSchedule(t *testing.T) {
+	p := Poisson{Rate: 0.01, Duration: timeu.FromUnits(0.5), Seed: 1}
+	horizon := timeu.FromUnits(10_000)
+	got, err := p.Schedule(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected ≈ rate × horizon = 100 faults; allow wide slack.
+	if len(got) < 50 || len(got) > 200 {
+		t.Errorf("Poisson produced %d faults, expected ≈100", len(got))
+	}
+	if err := ValidateSingleFault(got, 0); err != nil {
+		t.Errorf("Poisson schedule violates single-fault assumption: %v", err)
+	}
+	for _, f := range got {
+		if f.At >= horizon {
+			t.Errorf("fault at %s beyond horizon", f.At)
+		}
+		if f.Core < 0 || f.Core >= NumCores {
+			t.Errorf("core %d out of range", f.Core)
+		}
+	}
+	// Determinism.
+	again, err := p.Schedule(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(got) {
+		t.Error("same seed must reproduce the same schedule")
+	}
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatal("same seed must reproduce the same schedule exactly")
+		}
+	}
+	// A different seed should (overwhelmingly) differ.
+	other, err := Poisson{Rate: 0.01, Duration: timeu.FromUnits(0.5), Seed: 2}.Schedule(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(other) == len(got)
+	if same {
+		for i := range got {
+			if got[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestPoissonEdgeCases(t *testing.T) {
+	if fs, err := (Poisson{Rate: 0}).Schedule(1000); err != nil || fs != nil {
+		t.Error("zero rate means no faults")
+	}
+	if _, err := (Poisson{Rate: -1, Duration: 1}).Schedule(1000); err == nil {
+		t.Error("negative rate should be rejected")
+	}
+	if _, err := (Poisson{Rate: 1, Duration: 0}).Schedule(1000); err == nil {
+		t.Error("zero duration should be rejected")
+	}
+}
+
+func TestNone(t *testing.T) {
+	fs, err := None{}.Schedule(1000)
+	if err != nil || fs != nil {
+		t.Error("None must produce nothing")
+	}
+}

@@ -1,0 +1,133 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+// These tests close the loop for the multi-quantum extension: layouts
+// the exact pattern analysis proves feasible must execute without
+// deadline misses on the simulated platform.
+
+func TestLayoutSimulationNoMisses(t *testing.T) {
+	pr := paperProblem()
+	cases := []struct {
+		p      float64
+		counts Counts
+	}{
+		{2.0, Counts{1, 1, 1}},
+		{2.0, Counts{FT: 1, FS: 2, NF: 1}},
+		{6.0, Counts{FT: 1, FS: 4, NF: 2}}, // infeasible with any single-slot design
+		{4.0, Counts{FT: 2, FS: 2, NF: 2}},
+	}
+	for _, c := range cases {
+		l, err := Solve(pr, c.p, c.counts)
+		if err != nil {
+			t.Fatalf("P=%g counts=%+v: %v", c.p, c.counts, err)
+		}
+		usable, overhead := l.Windows()
+		s, err := sim.NewWindows(l.P, usable, overhead, pr.Tasks, pr.Alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(sim.Options{Horizon: timeu.FromUnits(480), Parallel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := res.TotalMisses(); n != 0 {
+			t.Errorf("P=%g counts=%+v: %d misses in proven-feasible layout\n%s",
+				c.p, c.counts, n, res.Summary())
+		}
+		if res.TotalCompleted() == 0 {
+			t.Errorf("P=%g counts=%+v: nothing executed", c.p, c.counts)
+		}
+	}
+}
+
+func TestLayoutSimulationPlatformLedger(t *testing.T) {
+	pr := paperProblem()
+	l, err := Solve(pr, 6.0, Counts{FT: 1, FS: 4, NF: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usable, overhead := l.Windows()
+	s, err := sim.NewWindows(l.P, usable, overhead, pr.Tasks, pr.Alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := timeu.FromUnits(60) // 10 whole periods
+	res, err := s.Run(sim.Options{Horizon: horizon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var windows timeu.Ticks
+	for _, m := range task.Modes() {
+		windows += res.ModeService[m]
+	}
+	if got := windows + res.OverheadTime + res.SlackTime; got != horizon {
+		t.Errorf("ledger %s != horizon %s", got, horizon)
+	}
+	// FS recurs 4× per period: overhead time must reflect 7 switches per
+	// period (1 + 4 + 2) rather than 3.
+	perPeriod := (res.OverheadTime / 10).Units()
+	want := 1*pr.O.FT + 4*pr.O.FS + 2*pr.O.NF
+	if diff := perPeriod - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("overhead per period %.6f, want %.6f", perPeriod, want)
+	}
+}
+
+func TestLayoutSimulationWithFaults(t *testing.T) {
+	// The checker semantics carry over to multi-quantum layouts: FT
+	// masks, FS channels silence, NF corrupts.
+	pr := paperProblem()
+	l, err := Solve(pr, 4.0, Counts{FT: 2, FS: 2, NF: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usable, overhead := l.Windows()
+	s, err := sim.NewWindows(l.P, usable, overhead, pr.Tasks, pr.Alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.Poisson{Rate: 0.02, Duration: timeu.FromUnits(0.05), Seed: 4}
+	res, err := s.Run(sim.Options{Horizon: timeu.FromUnits(960), Injector: inj, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFaults == 0 {
+		t.Fatal("no faults injected")
+	}
+	for _, tk := range pr.Tasks.ByMode(task.FT) {
+		if res.Tasks[tk.Name].Missed != 0 {
+			t.Errorf("FT task %s missed under masked faults", tk.Name)
+		}
+	}
+	for _, tk := range pr.Tasks.ByMode(task.NF) {
+		if res.Tasks[tk.Name].Missed != 0 {
+			t.Errorf("NF task %s missed (corruption costs no time)", tk.Name)
+		}
+	}
+}
+
+func TestNewWindowsValidation(t *testing.T) {
+	pr := paperProblem()
+	if _, err := sim.NewWindows(0, nil, nil, pr.Tasks, pr.Alg); err == nil {
+		t.Error("zero period should be rejected")
+	}
+	bad := map[task.Mode][][2]float64{task.FT: {{-0.5, 0.2}}}
+	if _, err := sim.NewWindows(2, bad, nil, pr.Tasks, pr.Alg); err == nil {
+		t.Error("negative window start should be rejected")
+	}
+	bad = map[task.Mode][][2]float64{task.FT: {{0.5, 0.2}}}
+	if _, err := sim.NewWindows(2, bad, nil, pr.Tasks, pr.Alg); err == nil {
+		t.Error("inverted window should be rejected")
+	}
+	bad = map[task.Mode][][2]float64{task.FT: {{0.5, 3.0}}}
+	if _, err := sim.NewWindows(2, bad, nil, pr.Tasks, pr.Alg); err == nil {
+		t.Error("window beyond the period should be rejected")
+	}
+}

@@ -1,0 +1,150 @@
+// Package online implements run-time reconfiguration of a deployed
+// platform: admitting newly arriving tasks and releasing departing ones
+// by growing and shrinking the mode slots within the period's slack.
+//
+// This is precisely the scenario the paper's second design goal targets
+// (Section 4: "there may be design scenarios where some tasks arrive
+// dynamically and it would be very convenient to shrink or enlarge the
+// time quanta"): the max-flexibility solution leaves 12.1 % of the
+// bandwidth redistributable, and this package is the admission
+// controller that spends and reclaims it.
+//
+// The period P is fixed at run time (changing it would re-time every
+// slot boundary); only the slot lengths move. Admission recomputes the
+// affected mode's minimum quantum with the candidate task included and
+// accepts iff the growth fits into the current slack. Each accepted
+// reconfiguration therefore preserves the Eq. (12)–(14) guarantees of
+// every task already in the system.
+package online
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/task"
+)
+
+// Manager tracks a live configuration and serialises reconfigurations.
+// It is safe for concurrent use.
+type Manager struct {
+	mu    sync.Mutex
+	alg   analysis.Alg
+	over  core.Overheads
+	tasks task.Set
+	cfg   core.Config
+}
+
+// NewManager starts from a verified problem/configuration pair, e.g. a
+// design.Solution's Config.
+func NewManager(pr core.Problem, cfg core.Config) (*Manager, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pr.Verify(cfg); err != nil {
+		return nil, fmt.Errorf("online: initial configuration rejected: %w", err)
+	}
+	return &Manager{
+		alg:   pr.Alg,
+		over:  pr.O,
+		tasks: append(task.Set(nil), pr.Tasks...),
+		cfg:   cfg,
+	}, nil
+}
+
+// Config returns the current configuration.
+func (m *Manager) Config() core.Config {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg
+}
+
+// Tasks returns a copy of the currently admitted task set.
+func (m *Manager) Tasks() task.Set {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append(task.Set(nil), m.tasks...)
+}
+
+// Slack returns the bandwidth still redistributable.
+func (m *Manager) Slack() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg.Slack()
+}
+
+// ErrRejected wraps all admission failures.
+var ErrRejected = fmt.Errorf("online: admission rejected")
+
+// Admit attempts to add a task at run time. The task's mode slot is
+// grown to the new minimum quantum; the growth must fit in the current
+// slack. On success the new configuration is active; on failure the
+// system is untouched.
+func (m *Manager) Admit(t task.Task) error {
+	t = t.Normalized()
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.tasks.Find(t.Name); exists && t.Name != "" {
+		return fmt.Errorf("%w: task %q already admitted", ErrRejected, t.Name)
+	}
+	candidate := append(append(task.Set(nil), m.tasks...), t)
+	return m.reshape(candidate, t.Mode)
+}
+
+// Remove releases a task and shrinks its mode's slot back to the new
+// minimum, reclaiming the difference as slack.
+func (m *Manager) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	idx := -1
+	for i, t := range m.tasks {
+		if t.Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("online: no task %q", name)
+	}
+	mode := m.tasks[idx].Mode
+	candidate := append(append(task.Set(nil), m.tasks[:idx]...), m.tasks[idx+1:]...)
+	if err := m.reshape(candidate, mode); err != nil {
+		return err // cannot happen: shrinking always fits; defensive
+	}
+	return nil
+}
+
+// reshape recomputes the quantum of the affected mode for the candidate
+// set at the fixed period and applies it if it fits. Caller holds mu.
+func (m *Manager) reshape(candidate task.Set, mode task.Mode) error {
+	worst := 0.0
+	for _, ch := range candidate.Channels(mode) {
+		q, err := analysis.MinQ(ch, m.alg, m.cfg.P)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrRejected, err)
+		}
+		if q > worst {
+			worst = q
+		}
+	}
+	newSlot := worst + m.over.Of(mode)
+	next := m.cfg
+	next.Q = next.Q.With(mode, newSlot)
+	if next.Q.Total() > next.P+1e-12 {
+		return fmt.Errorf("%w: mode %s needs slot %.4f but only %.4f slack is available",
+			ErrRejected, mode, newSlot, m.cfg.Slack()+m.cfg.Q.Of(mode))
+	}
+	// Double-check the whole system before switching (defence in depth —
+	// reshape only touched one mode, but Verify is cheap).
+	pr := core.Problem{Tasks: candidate, Alg: m.alg, O: m.over}
+	if err := pr.Verify(next); err != nil {
+		return fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	m.tasks = candidate
+	m.cfg = next
+	return nil
+}

@@ -1,0 +1,209 @@
+package online
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/region"
+	"repro/internal/task"
+)
+
+func maxFlexManager(t *testing.T) *Manager {
+	t.Helper()
+	pr := core.Problem{
+		Tasks: task.PaperTaskSet(),
+		Alg:   analysis.EDF,
+		O:     core.UniformOverheads(task.PaperOverheadTotal),
+	}
+	sol, err := design.Solve(pr, design.MaxFlexibility, region.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(pr, sol.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewManagerRejectsBadConfig(t *testing.T) {
+	pr := core.Problem{
+		Tasks: task.PaperTaskSet(),
+		Alg:   analysis.EDF,
+		O:     core.UniformOverheads(task.PaperOverheadTotal),
+	}
+	if _, err := NewManager(pr, core.Config{P: 1}); err == nil {
+		t.Error("unverifiable config should be rejected")
+	}
+	if _, err := NewManager(core.Problem{}, core.Config{}); err == nil {
+		t.Error("invalid problem should be rejected")
+	}
+}
+
+func TestAdmitSmallTask(t *testing.T) {
+	m := maxFlexManager(t)
+	before := m.Slack()
+	// A light task on NF channel 3 — the binding channel (it holds τ5,
+	// whose minQ sets the NF slot) — so the slot must actually grow.
+	err := m.Admit(task.Task{Name: "newcomer", C: 0.3, T: 12, Mode: task.NF, Channel: 3})
+	if err != nil {
+		t.Fatalf("small task should be admitted with 12%% slack available: %v", err)
+	}
+	after := m.Slack()
+	if after >= before {
+		t.Errorf("slack should shrink: %.4f → %.4f", before, after)
+	}
+	// Admission onto a non-binding channel can be free: the mode slot is
+	// sized by its worst channel.
+	if err := m.Admit(task.Task{Name: "free-rider", C: 0.05, T: 12, Mode: task.NF, Channel: 0}); err != nil {
+		t.Fatalf("free-rider should be admitted: %v", err)
+	}
+	if len(m.Tasks()) != 15 {
+		t.Errorf("task count %d, want 15", len(m.Tasks()))
+	}
+	// The new configuration still carries full guarantees.
+	pr := core.Problem{Tasks: m.Tasks(), Alg: analysis.EDF, O: core.UniformOverheads(task.PaperOverheadTotal)}
+	if err := pr.Verify(m.Config()); err != nil {
+		t.Errorf("post-admission configuration unverifiable: %v", err)
+	}
+}
+
+func TestAdmitHugeTaskRejected(t *testing.T) {
+	m := maxFlexManager(t)
+	cfgBefore := m.Config()
+	err := m.Admit(task.Task{Name: "monster", C: 5, T: 10, Mode: task.FT, Channel: 0})
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("monster task should be rejected, got %v", err)
+	}
+	if m.Config() != cfgBefore {
+		t.Error("rejected admission must leave the configuration untouched")
+	}
+	if len(m.Tasks()) != 13 {
+		t.Error("rejected admission must leave the task set untouched")
+	}
+}
+
+func TestAdmitDuplicateName(t *testing.T) {
+	m := maxFlexManager(t)
+	err := m.Admit(task.Task{Name: "tau1", C: 0.1, T: 12, Mode: task.NF})
+	if !errors.Is(err, ErrRejected) {
+		t.Errorf("duplicate name should be rejected, got %v", err)
+	}
+}
+
+func TestAdmitInvalidTask(t *testing.T) {
+	m := maxFlexManager(t)
+	if err := m.Admit(task.Task{Name: "bad", C: -1, T: 10, Mode: task.NF}); !errors.Is(err, ErrRejected) {
+		t.Errorf("invalid task should be rejected, got %v", err)
+	}
+}
+
+func TestRemoveReclaimsSlack(t *testing.T) {
+	m := maxFlexManager(t)
+	before := m.Slack()
+	if err := m.Remove("tau9"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Slack() <= before {
+		t.Errorf("removing the heaviest FS task should grow slack: %.4f → %.4f", before, m.Slack())
+	}
+	if _, found := m.Tasks().Find("tau9"); found {
+		t.Error("tau9 still present after removal")
+	}
+	if err := m.Remove("tau9"); err == nil {
+		t.Error("removing an absent task should fail")
+	}
+}
+
+func TestAdmitRemoveRoundTrip(t *testing.T) {
+	m := maxFlexManager(t)
+	slack0 := m.Slack()
+	nt := task.Task{Name: "guest", C: 0.15, T: 10, Mode: task.FS, Channel: 1}
+	if err := m.Admit(nt); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("guest"); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Slack()-slack0) > 1e-9 {
+		t.Errorf("slack not restored after round trip: %.6f vs %.6f", m.Slack(), slack0)
+	}
+}
+
+func TestRandomChurnKeepsGuarantees(t *testing.T) {
+	// Property: after any sequence of admissions and removals, the live
+	// configuration always verifies against the live task set.
+	m := maxFlexManager(t)
+	rng := rand.New(rand.NewSource(23))
+	guests := 0
+	for step := 0; step < 60; step++ {
+		if rng.Intn(2) == 0 {
+			mode := task.Modes()[rng.Intn(3)]
+			tk := task.Task{
+				Name:    string(rune('A' + step)),
+				C:       0.05 + rng.Float64()*0.3,
+				T:       []float64{8, 10, 12, 20}[rng.Intn(4)],
+				Mode:    mode,
+				Channel: rng.Intn(mode.Channels()),
+			}
+			if err := m.Admit(tk); err == nil {
+				guests++
+			} else if !errors.Is(err, ErrRejected) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+		} else if guests > 0 {
+			// Remove one guest (paper tasks stay).
+			for _, tk := range m.Tasks() {
+				if len(tk.Name) == 1 {
+					if err := m.Remove(tk.Name); err != nil {
+						t.Fatal(err)
+					}
+					guests--
+					break
+				}
+			}
+		}
+		pr := core.Problem{Tasks: m.Tasks(), Alg: analysis.EDF, O: core.UniformOverheads(task.PaperOverheadTotal)}
+		if err := pr.Verify(m.Config()); err != nil {
+			t.Fatalf("step %d: live configuration unverifiable: %v", step, err)
+		}
+		if m.Slack() < -1e-9 {
+			t.Fatalf("step %d: negative slack %g", step, m.Slack())
+		}
+	}
+	if guests == 0 {
+		t.Log("note: no guest admissions succeeded; churn exercised removals only")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	// The manager serialises reconfigurations; hammer it from several
+	// goroutines and rely on the race detector.
+	m := maxFlexManager(t)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 20; i++ {
+				name := string(rune('a'+g)) + string(rune('0'+i%10))
+				if err := m.Admit(task.Task{Name: name, C: 0.05, T: 10, Mode: task.NF, Channel: g}); err == nil {
+					_ = m.Remove(name)
+				}
+				_ = m.Slack()
+				_ = m.Config()
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	pr := core.Problem{Tasks: m.Tasks(), Alg: analysis.EDF, O: core.UniformOverheads(task.PaperOverheadTotal)}
+	if err := pr.Verify(m.Config()); err != nil {
+		t.Errorf("configuration unverifiable after concurrent churn: %v", err)
+	}
+}

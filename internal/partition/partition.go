@@ -1,0 +1,261 @@
+// Package partition assigns tasks to the channels of their operating
+// mode. The paper assumes a manual partition (Section 3, citing Baruah
+// [6] for automatic methods) and lists the allocation problem as future
+// work; this package supplies that step with the classical bin-packing
+// heuristics plus an exhaustive optimal baseline for small sets.
+//
+// A channel assignment is admissible when every channel passes the exact
+// full-processor schedulability test for the chosen algorithm — a
+// necessary condition for any slot size to exist. Among admissible
+// placements the heuristics differ in how they balance utilisation,
+// which in turn drives max_i minQ(T_k^i, alg, P) and therefore the
+// feasible-period region.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/task"
+)
+
+// Heuristic selects the bin-packing rule.
+type Heuristic int
+
+const (
+	// FirstFit places each task on the lowest-indexed admissible channel.
+	FirstFit Heuristic = iota
+	// BestFit places each task on the admissible channel with the
+	// highest current utilisation (tightest remaining room).
+	BestFit
+	// WorstFit places each task on the admissible channel with the
+	// lowest current utilisation, balancing load across channels.
+	WorstFit
+	// NextFit keeps a rotating cursor per mode.
+	NextFit
+)
+
+// String names the heuristic.
+func (h Heuristic) String() string {
+	switch h {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	case WorstFit:
+		return "worst-fit"
+	case NextFit:
+		return "next-fit"
+	}
+	return fmt.Sprintf("Heuristic(%d)", int(h))
+}
+
+// ParseHeuristic converts a CLI-style name to a Heuristic.
+func ParseHeuristic(s string) (Heuristic, error) {
+	switch s {
+	case "first-fit", "ff":
+		return FirstFit, nil
+	case "best-fit", "bf":
+		return BestFit, nil
+	case "worst-fit", "wf":
+		return WorstFit, nil
+	case "next-fit", "nf":
+		return NextFit, nil
+	}
+	return 0, fmt.Errorf("partition: unknown heuristic %q", s)
+}
+
+// Options configure an assignment.
+type Options struct {
+	Heuristic Heuristic
+	// Decreasing sorts tasks by decreasing utilisation before packing
+	// (the "-D" variants, which carry better worst-case guarantees).
+	Decreasing bool
+	// Alg is the per-channel scheduling algorithm used by the admission
+	// test.
+	Alg analysis.Alg
+}
+
+// ErrUnplaceable is wrapped by Assign when some task fits no channel.
+var ErrUnplaceable = fmt.Errorf("partition: task fits no channel")
+
+// Assign returns a copy of the set with Channel fields chosen by the
+// heuristic, mode by mode. The input's Channel values are ignored.
+func Assign(s task.Set, opts Options) (task.Set, error) {
+	if err := validateAlg(opts.Alg); err != nil {
+		return nil, err
+	}
+	s = s.Normalized()
+	out := append(task.Set(nil), s...)
+	index := make(map[string]int, len(out))
+	for i, t := range out {
+		index[t.Name] = i
+	}
+	for _, m := range task.Modes() {
+		sub := s.ByMode(m)
+		if len(sub) == 0 {
+			continue
+		}
+		if opts.Decreasing {
+			sub = append(task.Set(nil), sub...)
+			sort.SliceStable(sub, func(i, j int) bool {
+				return sub[i].Utilization() > sub[j].Utilization()
+			})
+		}
+		bins := make([]task.Set, m.Channels())
+		cursor := 0
+		for _, tk := range sub {
+			ch, err := place(tk, bins, opts, &cursor)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s in mode %s", ErrUnplaceable, tk.Name, m)
+			}
+			tk.Channel = ch
+			bins[ch] = append(bins[ch], tk)
+			out[index[tk.Name]].Channel = ch
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// place picks the channel for one task according to the heuristic.
+func place(tk task.Task, bins []task.Set, opts Options, cursor *int) (int, error) {
+	admissible := func(ch int) bool {
+		trial := append(append(task.Set(nil), bins[ch]...), tk)
+		ok, err := analysis.Schedulable(trial, opts.Alg)
+		return err == nil && ok
+	}
+	n := len(bins)
+	switch opts.Heuristic {
+	case FirstFit:
+		for ch := 0; ch < n; ch++ {
+			if admissible(ch) {
+				return ch, nil
+			}
+		}
+	case NextFit:
+		for k := 0; k < n; k++ {
+			ch := (*cursor + k) % n
+			if admissible(ch) {
+				*cursor = ch
+				return ch, nil
+			}
+		}
+	case BestFit, WorstFit:
+		best, bestU := -1, 0.0
+		for ch := 0; ch < n; ch++ {
+			if !admissible(ch) {
+				continue
+			}
+			u := bins[ch].Utilization()
+			if best == -1 ||
+				(opts.Heuristic == BestFit && u > bestU) ||
+				(opts.Heuristic == WorstFit && u < bestU) {
+				best, bestU = ch, u
+			}
+		}
+		if best >= 0 {
+			return best, nil
+		}
+	default:
+		return 0, fmt.Errorf("partition: unknown heuristic %d", int(opts.Heuristic))
+	}
+	return 0, ErrUnplaceable
+}
+
+// maxOptimalTasksPerMode bounds the exhaustive search; beyond it the
+// channel^n enumeration is no longer tractable.
+const maxOptimalTasksPerMode = 12
+
+// AssignOptimal exhaustively minimises, mode by mode, the maximum
+// per-channel utilisation subject to the admission test. It is
+// exponential in the per-mode task count and intended as a baseline for
+// evaluating the heuristics.
+func AssignOptimal(s task.Set, alg analysis.Alg) (task.Set, error) {
+	if err := validateAlg(alg); err != nil {
+		return nil, err
+	}
+	s = s.Normalized()
+	out := append(task.Set(nil), s...)
+	index := make(map[string]int, len(out))
+	for i, t := range out {
+		index[t.Name] = i
+	}
+	for _, m := range task.Modes() {
+		sub := s.ByMode(m)
+		if len(sub) == 0 {
+			continue
+		}
+		if len(sub) > maxOptimalTasksPerMode {
+			return nil, fmt.Errorf("partition: %d tasks in mode %s exceed the optimal-search bound %d",
+				len(sub), m, maxOptimalTasksPerMode)
+		}
+		best, bestMax := []int(nil), math.Inf(1)
+		assign := make([]int, len(sub))
+		var rec func(i int)
+		rec = func(i int) {
+			if i == len(sub) {
+				bins := make([]task.Set, m.Channels())
+				for j, ch := range assign {
+					bins[ch] = append(bins[ch], sub[j])
+				}
+				worst := 0.0
+				for _, b := range bins {
+					if len(b) == 0 {
+						continue
+					}
+					ok, err := analysis.Schedulable(b, alg)
+					if err != nil || !ok {
+						return
+					}
+					if u := b.Utilization(); u > worst {
+						worst = u
+					}
+				}
+				if worst < bestMax {
+					bestMax = worst
+					best = append([]int(nil), assign...)
+				}
+				return
+			}
+			for ch := 0; ch < m.Channels(); ch++ {
+				assign[i] = ch
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		if best == nil {
+			return nil, fmt.Errorf("%w: no admissible placement for mode %s", ErrUnplaceable, m)
+		}
+		for j, ch := range best {
+			out[index[sub[j].Name]].Channel = ch
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MaxChannelUtilization returns the largest per-channel utilisation over
+// all modes — the quantity the heuristics try to keep low.
+func MaxChannelUtilization(s task.Set) float64 {
+	worst := 0.0
+	for _, m := range task.Modes() {
+		if u := s.MaxChannelUtilization(m); u > worst {
+			worst = u
+		}
+	}
+	return worst
+}
+
+func validateAlg(a analysis.Alg) error {
+	if a != analysis.RM && a != analysis.DM && a != analysis.EDF {
+		return fmt.Errorf("partition: unsupported algorithm %v", a)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Package points computes the time-point sets over which the paper's
+// schedulability conditions are checked:
+//
+//   - schedP_i, the Bini–Buttazzo scheduling points of a task under
+//     fixed-priority scheduling (reference [10] of the paper), used by
+//     Theorem 1 and Eq. (6);
+//   - dlSet, the set of absolute deadlines up to the hyperperiod, used
+//     by the EDF condition of Theorem 2 and Eq. (11).
+package points
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/task"
+)
+
+// FixedPriority returns schedP_i for a task with relative deadline d and
+// the given higher-priority tasks hp (any order). It implements the
+// recursive definition
+//
+//	P_0(t)   = {t}
+//	P_j(t)   = P_{j-1}(⌊t/T_j⌋·T_j) ∪ P_{j-1}(t)
+//	schedP_i = P_{i-1}(D_i)
+//
+// restricted to points in (0, d]. The result is sorted ascending and
+// duplicate-free. schedP_i is the smallest set of points at which the
+// feasibility inequality must be checked for the task to be schedulable.
+func FixedPriority(hp task.Set, d float64) []float64 {
+	seen := make(map[float64]struct{})
+	var rec func(j int, t float64)
+	rec = func(j int, t float64) {
+		if t <= 0 {
+			return
+		}
+		if j == 0 {
+			seen[t] = struct{}{}
+			return
+		}
+		rec(j-1, math.Floor(t/hp[j-1].T)*hp[j-1].T)
+		rec(j-1, t)
+	}
+	rec(len(hp), d)
+	return sortedKeys(seen)
+}
+
+// Deadlines returns dlSet(T) restricted to (0, horizon]: every absolute
+// deadline k·T_i + D_i (k ≥ 0) of every task, assuming the synchronous
+// arrival pattern (all first jobs released at time zero). The horizon is
+// normally the hyperperiod of the set. The result is sorted ascending
+// and duplicate-free.
+func Deadlines(s task.Set, horizon float64) []float64 {
+	seen := make(map[float64]struct{})
+	for _, t := range s {
+		for k := 0; ; k++ {
+			dl := float64(k)*t.T + t.D
+			if dl > horizon {
+				break
+			}
+			if dl > 0 {
+				seen[dl] = struct{}{}
+			}
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// DenseGrid returns points {step, 2·step, …} up to and including horizon
+// (the last point is horizon itself even when not a multiple of step).
+// It exists as an exhaustive, slower alternative to the minimal sets
+// above, used by tests and by the scheduling-points ablation benchmark.
+func DenseGrid(horizon, step float64) []float64 {
+	if step <= 0 || horizon <= 0 {
+		return nil
+	}
+	n := int(horizon / step)
+	out := make([]float64, 0, n+1)
+	for i := 1; i <= n; i++ {
+		out = append(out, float64(i)*step)
+	}
+	if len(out) == 0 || out[len(out)-1] < horizon {
+		out = append(out, horizon)
+	}
+	return out
+}
+
+func sortedKeys(m map[float64]struct{}) []float64 {
+	out := make([]float64, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}

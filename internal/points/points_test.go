@@ -1,0 +1,148 @@
+package points
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func TestFixedPriorityNoHigherPriority(t *testing.T) {
+	got := FixedPriority(nil, 10)
+	if len(got) != 1 || got[0] != 10 {
+		t.Errorf("schedP with no hp tasks = %v, want [10]", got)
+	}
+}
+
+func TestFixedPriorityClassicExample(t *testing.T) {
+	// hp = {T=3, T=4}, D = 10: points are multiples of 3 and 4 below 10
+	// reachable by the recursion, plus 10 itself.
+	hp := task.Set{
+		{Name: "a", C: 1, T: 3, D: 3},
+		{Name: "b", C: 1, T: 4, D: 4},
+	}
+	got := FixedPriority(hp, 10)
+	// P_2(10) = P_1(8) ∪ P_1(10); P_1(8)={6,8}? ⌊8/3⌋·3=6 → P_0(6)∪P_0(8);
+	// P_1(10)={9,10}. So {6, 8, 9, 10}.
+	want := []float64{6, 8, 9, 10}
+	assertEqual(t, got, want)
+}
+
+func TestFixedPrioritySortedUnique(t *testing.T) {
+	hp := task.Set{
+		{T: 2}, {T: 4}, {T: 8},
+	}
+	got := FixedPriority(hp, 16)
+	if !sort.Float64sAreSorted(got) {
+		t.Error("points must be sorted")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Error("points must be unique")
+		}
+	}
+	for _, p := range got {
+		if p <= 0 || p > 16 {
+			t.Errorf("point %g outside (0, 16]", p)
+		}
+	}
+}
+
+func TestFixedPriorityAlwaysContainsDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(5)
+		hp := make(task.Set, n)
+		for i := range hp {
+			hp[i] = task.Task{T: float64(rng.Intn(20) + 1)}
+		}
+		d := float64(rng.Intn(50) + 1)
+		got := FixedPriority(hp, d)
+		if len(got) == 0 || got[len(got)-1] != d {
+			t.Fatalf("schedP(%v, %g) = %v: must contain the deadline", hp, d, got)
+		}
+	}
+}
+
+func TestFixedPrioritySubsetOfMultiples(t *testing.T) {
+	// Every point except the deadline itself must be a multiple of some
+	// higher-priority period.
+	hp := task.Set{{T: 3}, {T: 7}, {T: 11}}
+	d := 40.0
+	for _, p := range FixedPriority(hp, d) {
+		if p == d {
+			continue
+		}
+		ok := false
+		for _, h := range hp {
+			if math.Mod(p, h.T) == 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("point %g is neither the deadline nor a period multiple", p)
+		}
+	}
+}
+
+func TestDeadlinesImplicit(t *testing.T) {
+	s := task.Set{
+		{Name: "a", C: 1, T: 4, D: 4},
+		{Name: "b", C: 1, T: 6, D: 6},
+	}
+	got := Deadlines(s, 12)
+	want := []float64{4, 6, 8, 12}
+	assertEqual(t, got, want)
+}
+
+func TestDeadlinesConstrained(t *testing.T) {
+	s := task.Set{{Name: "a", C: 1, T: 10, D: 3}}
+	got := Deadlines(s, 25)
+	want := []float64{3, 13, 23}
+	assertEqual(t, got, want)
+}
+
+func TestDeadlinesPaperSet(t *testing.T) {
+	s := task.PaperTaskSet().ByMode(task.FT)
+	got := Deadlines(s, 60)
+	// Periods 12, 15, 20, 30 with implicit deadlines up to 60.
+	want := []float64{12, 15, 20, 24, 30, 36, 40, 45, 48, 60}
+	assertEqual(t, got, want)
+}
+
+func TestDeadlinesEmpty(t *testing.T) {
+	if got := Deadlines(nil, 100); len(got) != 0 {
+		t.Errorf("Deadlines(nil) = %v, want empty", got)
+	}
+}
+
+func TestDenseGrid(t *testing.T) {
+	got := DenseGrid(1.0, 0.25)
+	want := []float64{0.25, 0.5, 0.75, 1.0}
+	assertEqual(t, got, want)
+	got = DenseGrid(1.1, 0.5)
+	want = []float64{0.5, 1.0, 1.1}
+	assertEqual(t, got, want)
+	if DenseGrid(0, 0.5) != nil || DenseGrid(1, 0) != nil {
+		t.Error("degenerate grids should be nil")
+	}
+	// Tiny horizon still yields the horizon itself.
+	got = DenseGrid(0.1, 0.5)
+	want = []float64{0.1}
+	assertEqual(t, got, want)
+}
+
+func assertEqual(t *testing.T, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package region
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// SweepParallel evaluates the same grid as Sweep but fans the lhs
+// evaluations out over a worker pool — the sweep is embarrassingly
+// parallel (every sample is an independent minQ computation) and
+// dominates the cost of exploring large workloads. The result is
+// identical to Sweep's, in the same order.
+func SweepParallel(pr core.Problem, opts Options, workers int) ([]Point, error) {
+	opts, err := opts.withDefaults(pr)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]Point, opts.Samples)
+	errs := make([]error, workers)
+	step := opts.PMax / float64(opts.Samples)
+
+	var next int64
+	var mu sync.Mutex
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(opts.Samples) {
+			return -1
+		}
+		i := int(next)
+		next++
+		return i
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				p := float64(i+1) * step
+				lhs, err := pr.LHS(p)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = Point{P: p, LHS: lhs}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,37 @@
+package region
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	pr := paperProblem(analysis.EDF, 0.05)
+	opts := Options{PMax: 3.5, Samples: 256}
+	seq, err := Sweep(pr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 3, 8} {
+		par, err := SweepParallel(pr, opts, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: point %d differs: %+v vs %+v", workers, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestSweepParallelPropagatesOptionErrors(t *testing.T) {
+	pr := paperProblem(analysis.EDF, 0.05)
+	if _, err := SweepParallel(pr, Options{PMax: -1}, 2); err == nil {
+		t.Error("negative PMax should be rejected")
+	}
+}

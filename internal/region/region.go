@@ -1,0 +1,265 @@
+// Package region explores the design space of the slot-cycle period P
+// (Section 3.3 and Figure 4 of the paper).
+//
+// The feasibility condition on P is Eq. (15): lhs(P) ≥ O_tot, with
+// lhs(P) = P − Σ_k max_i minQ(T_k^i, alg, P). The function lhs is
+// continuous but not monotone: it climbs while larger periods amortise
+// the supply delays and falls once the slot delays approach the task
+// deadlines. The package provides the Figure 4 sweep and the three
+// scalar quantities the paper extracts from it: the maximum feasible
+// period for a given overhead, the maximum admissible total overhead,
+// and the period maximising the redistributable slack bandwidth.
+package region
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/task"
+)
+
+// DefaultSamples is the number of lhs evaluations used by the scanning
+// searches when Options.Samples is zero. lhs kinks at scheduling-point
+// crossovers, so the searches scan densely and then refine by bisection
+// inside a bracket; 4096 samples resolve every feature of workloads with
+// the paper's time scale.
+const DefaultSamples = 4096
+
+// bisectTolerance is the absolute tolerance of the bracket refinements.
+const bisectTolerance = 1e-9
+
+// Options tune the exploration searches.
+type Options struct {
+	// PMax bounds the period search from above. Zero means "derive from
+	// the task set" (see UpperBound).
+	PMax float64
+	// Samples is the number of scan samples over (0, PMax].
+	Samples int
+}
+
+func (o Options) withDefaults(pr core.Problem) (Options, error) {
+	if o.PMax == 0 {
+		ub, err := UpperBound(pr.Tasks)
+		if err != nil {
+			return o, err
+		}
+		o.PMax = ub
+	}
+	if o.PMax <= 0 {
+		return o, fmt.Errorf("region: PMax = %g must be positive", o.PMax)
+	}
+	if o.Samples == 0 {
+		o.Samples = DefaultSamples
+	}
+	if o.Samples < 2 {
+		return o, fmt.Errorf("region: Samples = %d too small", o.Samples)
+	}
+	return o, nil
+}
+
+// UpperBound returns a safe upper limit for the period search. A
+// feasible period keeps every mode's supply delay Δ_k = P − Q̃_k below
+// the smallest deadline served in that mode (a task cannot wait longer
+// than its deadline); summing over the modes with Σ Q̃_k ≤ P yields
+// P < Σ_k minD_k / (numModes − 1).
+func UpperBound(s task.Set) (float64, error) {
+	if len(s) == 0 {
+		return 0, task.ErrEmptySet
+	}
+	sum := 0.0
+	active := 0
+	for _, m := range task.Modes() {
+		sub := s.ByMode(m)
+		if len(sub) == 0 {
+			continue
+		}
+		active++
+		minD := math.Inf(1)
+		for _, t := range sub {
+			if t.D < minD {
+				minD = t.D
+			}
+		}
+		sum += minD
+	}
+	if active <= 1 {
+		// With a single active mode the slot can span the whole period;
+		// the binding constraint is the smallest deadline itself.
+		return sum, nil
+	}
+	return sum / float64(active-1), nil
+}
+
+// Point is one sample of the Figure 4 curve.
+type Point struct {
+	P   float64 // period
+	LHS float64 // left-hand side of Eq. (15)
+}
+
+// Sweep evaluates lhs(P) over an even grid of (0, PMax], producing the
+// data behind Figure 4. The first sample sits at PMax/Samples, not at 0
+// where the condition is degenerate.
+func Sweep(pr core.Problem, opts Options) ([]Point, error) {
+	opts, err := opts.withDefaults(pr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Point, 0, opts.Samples)
+	step := opts.PMax / float64(opts.Samples)
+	for i := 1; i <= opts.Samples; i++ {
+		p := float64(i) * step
+		lhs, err := pr.LHS(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{P: p, LHS: lhs})
+	}
+	return out, nil
+}
+
+// ErrInfeasible is returned when no period satisfies Eq. (15).
+var ErrInfeasible = errors.New("region: no feasible period for the given overhead")
+
+// MaxFeasiblePeriod returns the largest period P ≤ PMax with
+// lhs(P) ≥ O_tot (points ①, ② and ⑤ of Figure 4). It scans from PMax
+// downward and sharpens the boundary by bisection.
+func MaxFeasiblePeriod(pr core.Problem, opts Options) (float64, error) {
+	opts, err := opts.withDefaults(pr)
+	if err != nil {
+		return 0, err
+	}
+	target := pr.O.Total()
+	step := opts.PMax / float64(opts.Samples)
+	feasible := func(p float64) (bool, error) {
+		lhs, err := pr.LHS(p)
+		if err != nil {
+			return false, err
+		}
+		return lhs >= target, nil
+	}
+	for i := opts.Samples; i >= 1; i-- {
+		p := float64(i) * step
+		ok, err := feasible(p)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			continue
+		}
+		// p feasible, p+step (if inside the range) infeasible: bisect.
+		lo, hi := p, math.Min(p+step, opts.PMax)
+		if hi <= lo {
+			return lo, nil
+		}
+		for hi-lo > bisectTolerance {
+			mid := (lo + hi) / 2
+			ok, err := feasible(mid)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo, nil
+	}
+	return 0, ErrInfeasible
+}
+
+// MaxAdmissibleOverhead returns the largest total overhead for which a
+// feasible period exists — the peak of the lhs curve (points ③ and ④
+// of Figure 4) — along with the period attaining it. The peak is located
+// by dense scanning followed by golden-section refinement in the winning
+// bracket (lhs is smooth between scheduling-point kinks, and the scan is
+// fine enough to land the bracket on the right piece).
+func MaxAdmissibleOverhead(pr core.Problem, opts Options) (period, overhead float64, err error) {
+	opts, err = opts.withDefaults(pr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return maximize(pr, opts, func(p, lhs float64) float64 { return lhs })
+}
+
+// MaxSlackBandwidth returns the period maximising the redistributable
+// slack bandwidth (lhs(P) − O_tot)/P — the paper's second design goal
+// (maximum run-time flexibility, Table 2(c)) — and that bandwidth.
+func MaxSlackBandwidth(pr core.Problem, opts Options) (period, bandwidth float64, err error) {
+	opts, err = opts.withDefaults(pr)
+	if err != nil {
+		return 0, 0, err
+	}
+	target := pr.O.Total()
+	p, v, err := maximize(pr, opts, func(p, lhs float64) float64 { return (lhs - target) / p })
+	if err != nil {
+		return 0, 0, err
+	}
+	if v < 0 {
+		return 0, 0, ErrInfeasible
+	}
+	return p, v, nil
+}
+
+// maximize scans objective(p, lhs(p)) over the grid and refines the best
+// bracket by golden-section search.
+func maximize(pr core.Problem, opts Options, objective func(p, lhs float64) float64) (float64, float64, error) {
+	step := opts.PMax / float64(opts.Samples)
+	eval := func(p float64) (float64, error) {
+		lhs, err := pr.LHS(p)
+		if err != nil {
+			return 0, err
+		}
+		return objective(p, lhs), nil
+	}
+	bestP, bestV := 0.0, math.Inf(-1)
+	for i := 1; i <= opts.Samples; i++ {
+		p := float64(i) * step
+		v, err := eval(p)
+		if err != nil {
+			return 0, 0, err
+		}
+		if v > bestV {
+			bestP, bestV = p, v
+		}
+	}
+	// Golden-section refinement within [bestP−step, bestP+step].
+	lo := math.Max(bestP-step, step/1024)
+	hi := math.Min(bestP+step, opts.PMax)
+	const phi = 0.6180339887498949
+	a, b := hi-phi*(hi-lo), lo+phi*(hi-lo)
+	fa, err := eval(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	fb, err := eval(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	for hi-lo > bisectTolerance {
+		if fa < fb {
+			lo, a, fa = a, b, fb
+			b = lo + phi*(hi-lo)
+			if fb, err = eval(b); err != nil {
+				return 0, 0, err
+			}
+		} else {
+			hi, b, fb = b, a, fa
+			a = hi - phi*(hi-lo)
+			if fa, err = eval(a); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	mid := (lo + hi) / 2
+	v, err := eval(mid)
+	if err != nil {
+		return 0, 0, err
+	}
+	if v < bestV { // refinement can only improve; keep the scan winner otherwise
+		return bestP, bestV, nil
+	}
+	return mid, v, nil
+}

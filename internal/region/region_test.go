@@ -1,0 +1,201 @@
+package region
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/task"
+)
+
+func paperProblem(alg analysis.Alg, otot float64) core.Problem {
+	return core.Problem{
+		Tasks: task.PaperTaskSet(),
+		Alg:   alg,
+		O:     core.UniformOverheads(otot),
+	}
+}
+
+// paperTol is the comparison tolerance against values the paper reports
+// rounded to three decimals.
+const paperTol = 1e-3
+
+func TestFigure4Point1MaxPeriodEDFNoOverhead(t *testing.T) {
+	p, err := MaxFeasiblePeriod(paperProblem(analysis.EDF, 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-3.176) > paperTol {
+		t.Errorf("max feasible period (EDF, O=0) = %.4f, want 3.176", p)
+	}
+}
+
+func TestFigure4Point2MaxPeriodRMNoOverhead(t *testing.T) {
+	p, err := MaxFeasiblePeriod(paperProblem(analysis.RM, 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-2.381) > paperTol {
+		t.Errorf("max feasible period (RM, O=0) = %.4f, want 2.381", p)
+	}
+}
+
+func TestFigure4Point3MaxOverheadEDF(t *testing.T) {
+	_, o, err := MaxAdmissibleOverhead(paperProblem(analysis.EDF, 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(o-0.201) > paperTol {
+		t.Errorf("max admissible overhead (EDF) = %.4f, want 0.201", o)
+	}
+}
+
+func TestFigure4Point4MaxOverheadRM(t *testing.T) {
+	_, o, err := MaxAdmissibleOverhead(paperProblem(analysis.RM, 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(o-0.129) > paperTol {
+		t.Errorf("max admissible overhead (RM) = %.4f, want 0.129", o)
+	}
+}
+
+func TestFigure4Point5MaxPeriodEDFWithOverhead(t *testing.T) {
+	p, err := MaxFeasiblePeriod(paperProblem(analysis.EDF, 0.05), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-2.966) > paperTol {
+		t.Errorf("max feasible period (EDF, O=0.05) = %.4f, want 2.966", p)
+	}
+}
+
+func TestTable2cMaxSlackBandwidth(t *testing.T) {
+	p, bw, err := MaxSlackBandwidth(paperProblem(analysis.EDF, 0.05), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.855) > paperTol {
+		t.Errorf("max-slack period = %.4f, want 0.855", p)
+	}
+	if math.Abs(bw-0.121) > paperTol {
+		t.Errorf("slack bandwidth = %.4f, want 0.121 (12.1%%)", bw)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	pts, err := Sweep(paperProblem(analysis.EDF, 0.05), Options{PMax: 3.5, Samples: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 700 {
+		t.Fatalf("got %d points, want 700", len(pts))
+	}
+	// Periods strictly increasing, curve continuous-ish (no wild jumps),
+	// and the qualitative Figure 4 shape: negative near 0⁺ is impossible
+	// (lhs(P) ≤ P), positive peak ≈ 0.2, negative tail past 3.3.
+	peak := math.Inf(-1)
+	for i, pt := range pts {
+		if i > 0 && pt.P <= pts[i-1].P {
+			t.Fatal("periods must increase")
+		}
+		if pt.LHS > pt.P+1e-9 {
+			t.Errorf("lhs(%g) = %g exceeds P", pt.P, pt.LHS)
+		}
+		if pt.LHS > peak {
+			peak = pt.LHS
+		}
+	}
+	if math.Abs(peak-0.201) > 5e-3 {
+		t.Errorf("sweep peak = %.4f, want ≈ 0.201", peak)
+	}
+	last := pts[len(pts)-1]
+	if last.LHS >= 0 {
+		t.Errorf("lhs at P=3.5 should be negative, got %g", last.LHS)
+	}
+}
+
+func TestEDFDominatesRM(t *testing.T) {
+	// Every RM-feasible period is EDF-feasible: the EDF curve lies above
+	// the RM curve everywhere (Figure 4's visual claim).
+	edf, err := Sweep(paperProblem(analysis.EDF, 0), Options{PMax: 3.2, Samples: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := Sweep(paperProblem(analysis.RM, 0), Options{PMax: 3.2, Samples: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range edf {
+		if edf[i].LHS < rm[i].LHS-1e-9 {
+			t.Errorf("P=%.3f: EDF lhs %.4f below RM lhs %.4f", edf[i].P, edf[i].LHS, rm[i].LHS)
+		}
+	}
+}
+
+func TestMaxFeasiblePeriodInfeasible(t *testing.T) {
+	// Overhead above the admissible maximum: no feasible period at all.
+	if _, err := MaxFeasiblePeriod(paperProblem(analysis.EDF, 0.5), Options{}); err != ErrInfeasible {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+	if _, _, err := MaxSlackBandwidth(paperProblem(analysis.EDF, 0.5), Options{}); err != ErrInfeasible {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestUpperBound(t *testing.T) {
+	ub, err := UpperBound(task.PaperTaskSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Min deadlines per mode: FT 12, FS 4, NF 6 → (12+4+6)/2 = 11.
+	if math.Abs(ub-11) > 1e-12 {
+		t.Errorf("UpperBound = %g, want 11", ub)
+	}
+	// The bound must indeed contain the feasible region.
+	if ub < 3.176 {
+		t.Error("upper bound excludes the known max feasible period")
+	}
+	// Single-mode set: bound is that mode's min deadline.
+	single := task.Set{{Name: "a", C: 1, T: 8, D: 8, Mode: task.NF}}
+	ub, err = UpperBound(single)
+	if err != nil || ub != 8 {
+		t.Errorf("single-mode UpperBound = %g, %v; want 8", ub, err)
+	}
+	if _, err := UpperBound(nil); err == nil {
+		t.Error("empty set should error")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	pr := paperProblem(analysis.EDF, 0)
+	if _, err := Sweep(pr, Options{PMax: -1}); err == nil {
+		t.Error("negative PMax should be rejected")
+	}
+	if _, err := Sweep(pr, Options{PMax: 1, Samples: 1}); err == nil {
+		t.Error("single sample should be rejected")
+	}
+}
+
+func TestMaxFeasiblePeriodConsistentWithConfigFor(t *testing.T) {
+	// The boundary period must admit a configuration, and it must verify.
+	for _, alg := range []analysis.Alg{analysis.RM, analysis.EDF} {
+		pr := paperProblem(alg, 0.05)
+		p, err := MaxFeasiblePeriod(pr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := pr.ConfigFor(p)
+		if err != nil {
+			t.Fatalf("%s: boundary period %g rejected by ConfigFor: %v", alg, p, err)
+		}
+		if err := pr.Verify(cfg); err != nil {
+			t.Errorf("%s: boundary config fails verification: %v", alg, err)
+		}
+		// Essentially all bandwidth allocated: slack ≈ 0 at the boundary.
+		if cfg.Slack() > 1e-6 {
+			t.Errorf("%s: slack at boundary = %g, want ≈ 0", alg, cfg.Slack())
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package region
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+func TestCriticalScalingAtBoundary(t *testing.T) {
+	// At the maximum feasible period the design has no headroom: the
+	// critical scaling factor is essentially 1.
+	pr := paperProblem(analysis.EDF, 0.05)
+	pmax, err := MaxFeasiblePeriod(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := CriticalScaling(pr, pmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-3 {
+		t.Errorf("scaling at the boundary = %.5f, want ≈ 1", f)
+	}
+}
+
+func TestCriticalScalingInterior(t *testing.T) {
+	// Deep inside the region there is real headroom: f must exceed 1,
+	// and scaling by f must stay feasible while f + ε must not.
+	pr := paperProblem(analysis.EDF, 0.05)
+	f, err := CriticalScaling(pr, 0.855)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f <= 1.01 {
+		t.Errorf("interior period should absorb growth, got f = %.4f", f)
+	}
+	ok, err := feasibleScaled(pr, 0.855, f-1e-4)
+	if err != nil || !ok {
+		t.Errorf("just below the critical factor should be feasible (%v, %v)", ok, err)
+	}
+	ok, err = feasibleScaled(pr, 0.855, f+1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("above the critical factor should be infeasible (f=%g)", f)
+	}
+}
+
+func TestCriticalScalingInfeasiblePeriod(t *testing.T) {
+	// Beyond the region the factor says how much the workload must
+	// shrink: f < 1.
+	pr := paperProblem(analysis.EDF, 0.05)
+	f, err := CriticalScaling(pr, 3.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f >= 1 {
+		t.Errorf("infeasible period should give f < 1, got %.4f", f)
+	}
+	if f <= 0 {
+		t.Errorf("factor should stay positive, got %.4f", f)
+	}
+}
+
+func TestCriticalScalingMonotoneAcrossPeriods(t *testing.T) {
+	// Headroom shrinks as the period approaches the boundary from a
+	// comfortable interior point.
+	pr := paperProblem(analysis.EDF, 0.05)
+	f1, err := CriticalScaling(pr, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := CriticalScaling(pr, 2.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 >= f1 {
+		t.Errorf("headroom should shrink near the boundary: f(1.0)=%.4f, f(2.8)=%.4f", f1, f2)
+	}
+}
+
+func TestCriticalScalingErrors(t *testing.T) {
+	pr := paperProblem(analysis.EDF, 0.05)
+	if _, err := CriticalScaling(pr, 0); err == nil {
+		t.Error("P=0 should error")
+	}
+	if _, err := CriticalScaling(core.Problem{}, 1); err == nil {
+		t.Error("invalid problem should error")
+	}
+}

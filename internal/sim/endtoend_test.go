@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/faults"
+	"repro/internal/region"
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+// These tests close the loop between the analytic design machinery and
+// the executable platform model: configurations the analysis proves
+// feasible must run without a single deadline miss.
+
+func paperProblem(alg analysis.Alg) core.Problem {
+	return core.Problem{
+		Tasks: task.PaperTaskSet(),
+		Alg:   alg,
+		O:     core.UniformOverheads(task.PaperOverheadTotal),
+	}
+}
+
+func TestDesignSimulationNoMisses(t *testing.T) {
+	// Both Table 2 solutions, both algorithms, simulated for 4
+	// hyperperiods (480 time units): zero deadline misses.
+	for _, alg := range []analysis.Alg{analysis.RM, analysis.EDF} {
+		pr := paperProblem(alg)
+		for _, goal := range []design.Goal{design.MinOverheadBandwidth, design.MaxFlexibility} {
+			sol, err := design.Solve(pr, goal, region.Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", alg, goal, err)
+			}
+			s, err := New(sol.Config, pr.Tasks, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run(Options{Horizon: timeu.FromUnits(480), Parallel: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := res.TotalMisses(); n != 0 {
+				t.Errorf("%s/%s (P=%.4f): %d deadline misses in a proven-feasible design\n%s",
+					alg, goal, sol.Config.P, n, res.Summary())
+			}
+			if res.TotalCompleted() == 0 {
+				t.Errorf("%s/%s: nothing executed", alg, goal)
+			}
+		}
+	}
+}
+
+func TestDesignSimulationResponseBounds(t *testing.T) {
+	// Every task's simulated worst response must respect the bound the
+	// bounded-delay supply implies for *some* feasible point:
+	// response ≤ D (already covered by no-misses) and ≥ C (sanity).
+	pr := paperProblem(analysis.EDF)
+	sol, err := design.Solve(pr, design.MaxFlexibility, region.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(sol.Config, pr.Tasks, analysis.EDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(Options{Horizon: timeu.FromUnits(240)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range pr.Tasks {
+		ts := res.Tasks[tk.Name]
+		if ts == nil || ts.Completed == 0 {
+			t.Errorf("%s never completed", tk.Name)
+			continue
+		}
+		if ts.MaxResponse < timeu.FromUnitsDown(tk.C) {
+			t.Errorf("%s: max response %s below its WCET %g", tk.Name, ts.MaxResponse, tk.C)
+		}
+		if ts.MaxResponse > timeu.FromUnitsUp(tk.D) {
+			t.Errorf("%s: max response %s beyond its deadline %g", tk.Name, ts.MaxResponse, tk.D)
+		}
+	}
+}
+
+func TestPaperDesignUnderFaults(t *testing.T) {
+	// With faults injected, FT tasks stay perfect (masked), NF tasks
+	// still meet every deadline (corruption does not cost time), and all
+	// fault effects are accounted.
+	pr := paperProblem(analysis.EDF)
+	sol, err := design.Solve(pr, design.MinOverheadBandwidth, region.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(sol.Config, pr.Tasks, analysis.EDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.Poisson{Rate: 0.02, Duration: timeu.FromUnits(0.05), Seed: 99}
+	res, err := s.Run(Options{Horizon: timeu.FromUnits(960), Injector: inj, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFaults == 0 {
+		t.Fatal("fault injector produced nothing; raise the rate")
+	}
+	for _, tk := range pr.Tasks.ByMode(task.FT) {
+		if res.Tasks[tk.Name].Missed != 0 {
+			t.Errorf("FT task %s missed deadlines under masked faults", tk.Name)
+		}
+	}
+	for _, tk := range pr.Tasks.ByMode(task.NF) {
+		if res.Tasks[tk.Name].Missed != 0 {
+			t.Errorf("NF task %s missed deadlines (corruption must not cost time)", tk.Name)
+		}
+	}
+	// Accounting: every fault lands somewhere.
+	accounted := res.Masked + res.HarmlessFaults
+	if accounted == 0 && res.Silenced == 0 && res.Corruptions == 0 {
+		t.Error("faults were injected but none accounted")
+	}
+}
+
+func TestSimulatedResponsesWithinAnalyticBounds(t *testing.T) {
+	// Strong agreement check for fixed priorities: the simulated maximum
+	// response of every task must stay within the analytic bound
+	// R = Δ + W_i(R)/α derived from the mode's bounded-delay supply.
+	pr := paperProblem(analysis.RM)
+	pmax, err := region.MaxFeasiblePeriod(pr, region.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stay inside the region: at the exact boundary the response bound
+	// is tangent to a deadline and numerically fragile.
+	p := 0.9 * pmax
+	cfg, err := pr.ConfigFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg, pr.Tasks, analysis.RM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(Options{Horizon: timeu.FromUnits(480), Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range task.Modes() {
+		sp := cfg.Supply(m)
+		for _, ch := range pr.Tasks.Channels(m) {
+			if len(ch) == 0 {
+				continue
+			}
+			bounds, err := analysis.ResponseTimes(ch, analysis.RM, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, tk := range ch {
+				if math.IsInf(bounds[i], 1) {
+					t.Errorf("%s: no finite response bound inside the feasible region", tk.Name)
+					continue
+				}
+				got := res.Tasks[tk.Name].MaxResponse
+				bound := timeu.FromUnitsUp(bounds[i]) + 2 // ticks of rounding headroom
+				if got > bound {
+					t.Errorf("%s: simulated max response %s exceeds analytic bound %.4f", tk.Name, got, bounds[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRandomFeasibleDesignsNeverMiss(t *testing.T) {
+	// Sweep several feasible periods (not just the optimisers' picks):
+	// all must simulate cleanly. This is the strongest analysis↔sim
+	// agreement check.
+	if testing.Short() {
+		t.Skip("long agreement sweep")
+	}
+	for _, alg := range []analysis.Alg{analysis.RM, analysis.EDF} {
+		pr := paperProblem(alg)
+		for p := 0.4; p <= 2.4; p += 0.4 {
+			ok, err := pr.FeasiblePeriod(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				continue
+			}
+			cfg, err := pr.ConfigFor(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := New(cfg, pr.Tasks, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run(Options{Horizon: timeu.FromUnits(240), Parallel: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := res.TotalMisses(); n != 0 {
+				t.Errorf("%s P=%.2f: %d misses in proven-feasible design\n%s", alg, p, n, res.Summary())
+			}
+		}
+	}
+}

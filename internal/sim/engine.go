@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/task"
+	"repro/internal/timeu"
+	"repro/internal/trace"
+)
+
+// engine simulates one channel over [0, horizon): periodic job releases
+// (synchronous pattern, offset 0 — the worst case the analysis assumes),
+// preemptive dispatch of the highest-priority ready job whenever the
+// channel's service intervals allow, fail-silent aborts at block
+// instants, and NF corruption marking.
+type engine struct {
+	id       ChannelID
+	tasks    task.Set
+	alg      analysis.Alg
+	service  []interval
+	blockAt  map[timeu.Ticks]bool
+	corrupt  []interval
+	horizon  timeu.Ticks
+	recovery Recovery
+	log      *trace.Log
+
+	queue       *jobQueue
+	nextRelease []timeu.Ticks
+	periods     []timeu.Ticks
+	deadlines   []timeu.Ticks
+	wcets       []timeu.Ticks
+	seq         uint64
+	stats       *channelResult
+	corruptIdx  int
+	svcIdx      int
+}
+
+func (e *engine) run() (*channelResult, error) {
+	e.queue = newJobQueue(e.alg, e.tasks)
+	e.nextRelease = make([]timeu.Ticks, len(e.tasks))
+	e.periods = make([]timeu.Ticks, len(e.tasks))
+	e.deadlines = make([]timeu.Ticks, len(e.tasks))
+	e.wcets = make([]timeu.Ticks, len(e.tasks))
+	for i, t := range e.tasks {
+		e.periods[i] = timeu.FromUnits(t.T)
+		e.deadlines[i] = timeu.FromUnits(t.D)
+		e.wcets[i] = timeu.FromUnitsUp(t.C) // never under-charge work
+		if e.periods[i] <= 0 || e.wcets[i] <= 0 {
+			return nil, fmt.Errorf("sim: task %s has degenerate timing in ticks", t.Name)
+		}
+	}
+	e.stats = newChannelResult(e.id, e.tasks, e.log)
+	for _, iv := range e.service {
+		e.stats.Service += iv.length()
+	}
+
+	now := timeu.Ticks(0)
+	for now < e.horizon {
+		e.releaseDue(now)
+		nr := e.nextReleaseTime()
+		job := e.queue.peek()
+		if job == nil {
+			now = minTick(nr, e.horizon)
+			continue
+		}
+		sv, ok := e.currentService(now)
+		if !ok {
+			// No service at `now`: idle until service resumes or a new
+			// release arrives (which cannot start earlier anyway, but
+			// keeps the release bookkeeping exact).
+			next := minTick(nr, e.horizon)
+			if e.svcIdx < len(e.service) {
+				next = minTick(next, e.service[e.svcIdx].From)
+			}
+			if next <= now {
+				return nil, fmt.Errorf("sim: time stuck at %s on %s", now, e.id)
+			}
+			now = next
+			continue
+		}
+		// Execute the head job until it finishes, the service window
+		// closes, or a release may preempt.
+		next := minTick(now+job.Remaining, minTick(sv.To, minTick(nr, e.horizon)))
+		if next <= now {
+			return nil, fmt.Errorf("sim: no progress at %s on %s", now, e.id)
+		}
+		e.markCorruption(job, now, next)
+		job.Remaining -= next - now
+		e.stats.Busy += next - now
+		e.log.AddSegment(trace.Segment{From: now, To: next, Task: job.TaskName, Mode: e.id.Mode, Channel: e.id.Ch})
+		now = next
+		switch {
+		case job.Remaining == 0:
+			e.complete(job, now)
+		case now == sv.To && e.blockAt[now]:
+			e.abort(job, now)
+		}
+	}
+	e.finish()
+	return e.stats, nil
+}
+
+// releaseDue pushes every job with release time ≤ now.
+func (e *engine) releaseDue(now timeu.Ticks) {
+	for i := range e.tasks {
+		for e.nextRelease[i] <= now && e.nextRelease[i] < e.horizon {
+			rel := e.nextRelease[i]
+			e.seq++
+			j := &Job{
+				TaskName:  e.tasks[i].Name,
+				TaskIndex: i,
+				Release:   rel,
+				Deadline:  rel + e.deadlines[i],
+				Total:     e.wcets[i],
+				Remaining: e.wcets[i],
+				seq:       e.seq,
+			}
+			e.queue.push(j)
+			e.stats.task(j.TaskName).Released++
+			e.log.Add(trace.Event{At: rel, Kind: trace.Release, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1})
+			e.nextRelease[i] += e.periods[i]
+		}
+	}
+}
+
+// nextReleaseTime returns the earliest pending release, or the horizon.
+func (e *engine) nextReleaseTime() timeu.Ticks {
+	next := e.horizon
+	for i := range e.tasks {
+		if e.nextRelease[i] < next {
+			next = e.nextRelease[i]
+		}
+	}
+	return next
+}
+
+// currentService positions svcIdx at the interval containing or
+// following now and reports whether now is inside service.
+func (e *engine) currentService(now timeu.Ticks) (interval, bool) {
+	for e.svcIdx < len(e.service) && e.service[e.svcIdx].To <= now {
+		e.svcIdx++
+	}
+	if e.svcIdx >= len(e.service) {
+		return interval{}, false
+	}
+	sv := e.service[e.svcIdx]
+	if now < sv.From {
+		return interval{}, false
+	}
+	return sv, true
+}
+
+// markCorruption flags the job if its execution in [from, to) overlaps a
+// fault interval on this NF channel.
+func (e *engine) markCorruption(j *Job, from, to timeu.Ticks) {
+	for e.corruptIdx < len(e.corrupt) && e.corrupt[e.corruptIdx].To <= from {
+		e.corruptIdx++
+	}
+	for i := e.corruptIdx; i < len(e.corrupt); i++ {
+		iv := e.corrupt[i]
+		if iv.From >= to {
+			break
+		}
+		if iv.intersects(from, to) && !j.Corrupted {
+			j.Corrupted = true
+			e.stats.Corruptions++
+			e.log.Add(trace.Event{At: maxTick(iv.From, from), Kind: trace.Corrupted, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1})
+		}
+	}
+}
+
+// complete finalises a finished job: response-time stats, deadline check.
+func (e *engine) complete(j *Job, now timeu.Ticks) {
+	e.queue.pop()
+	ts := e.stats.task(j.TaskName)
+	ts.Completed++
+	resp := now - j.Release
+	ts.SumResponse += resp
+	if resp > ts.MaxResponse {
+		ts.MaxResponse = resp
+	}
+	if j.Corrupted {
+		ts.Corrupted++
+	}
+	if now > j.Deadline {
+		ts.Missed++
+		e.log.Add(trace.Event{At: now, Kind: trace.Miss, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1,
+			Detail: fmt.Sprintf("late by %s", now-j.Deadline)})
+		return
+	}
+	e.log.Add(trace.Event{At: now, Kind: trace.Complete, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1})
+}
+
+// abort kills the job running when a fail-silent shutdown hits, then
+// consults the recovery policy.
+func (e *engine) abort(j *Job, now timeu.Ticks) {
+	e.queue.pop()
+	ts := e.stats.task(j.TaskName)
+	ts.Aborted++
+	e.stats.Silenced++
+	e.log.Add(trace.Event{At: now, Kind: trace.Abort, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1})
+	if e.recovery == nil {
+		return
+	}
+	if re, ok := e.recovery.OnAbort(*j, now); ok {
+		e.seq++
+		re.seq = e.seq
+		re.heapIndex = 0
+		e.queue.push(&re)
+		ts.Recovered++
+	}
+}
+
+// finish accounts jobs still pending at the horizon: any with a deadline
+// inside the horizon has missed it.
+func (e *engine) finish() {
+	for _, j := range e.queue.drain() {
+		if j.Deadline <= e.horizon && j.Remaining > 0 {
+			ts := e.stats.task(j.TaskName)
+			ts.Missed++
+			e.log.Add(trace.Event{At: j.Deadline, Kind: trace.Miss, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1,
+				Detail: "unfinished at horizon"})
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"container/heap"
+
+	"repro/internal/analysis"
+	"repro/internal/task"
+)
+
+// jobQueue is a priority heap of ready jobs. Fixed-priority algorithms
+// compare a precomputed static rank; EDF compares absolute deadlines.
+// Ties break on release time, then on an insertion sequence number, so
+// dispatch is fully deterministic.
+type jobQueue struct {
+	alg   analysis.Alg
+	ranks []int // static priority rank per channel task index (FP only)
+	jobs  []*Job
+}
+
+// newJobQueue builds the queue for a channel's task list. For RM and DM
+// the static rank of each task is its position in the priority order.
+func newJobQueue(alg analysis.Alg, tasks task.Set) *jobQueue {
+	q := &jobQueue{alg: alg, ranks: make([]int, len(tasks))}
+	if alg == analysis.EDF {
+		return q
+	}
+	var ordered task.Set
+	switch alg {
+	case analysis.RM:
+		ordered = tasks.SortedRM()
+	case analysis.DM:
+		ordered = tasks.SortedDM()
+	}
+	pos := make(map[string]int, len(ordered))
+	for i, t := range ordered {
+		pos[t.Name] = i
+	}
+	for i, t := range tasks {
+		q.ranks[i] = pos[t.Name]
+	}
+	return q
+}
+
+func (q *jobQueue) higher(a, b *Job) bool {
+	if q.alg == analysis.EDF {
+		if a.Deadline != b.Deadline {
+			return a.Deadline < b.Deadline
+		}
+	} else if q.ranks[a.TaskIndex] != q.ranks[b.TaskIndex] {
+		return q.ranks[a.TaskIndex] < q.ranks[b.TaskIndex]
+	}
+	if a.Release != b.Release {
+		return a.Release < b.Release
+	}
+	return a.seq < b.seq
+}
+
+// heap.Interface implementation.
+
+func (q *jobQueue) Len() int           { return len(q.jobs) }
+func (q *jobQueue) Less(i, j int) bool { return q.higher(q.jobs[i], q.jobs[j]) }
+func (q *jobQueue) Swap(i, j int) {
+	q.jobs[i], q.jobs[j] = q.jobs[j], q.jobs[i]
+	q.jobs[i].heapIndex = i
+	q.jobs[j].heapIndex = j
+}
+
+// Push appends x (heap.Push protocol; use push instead).
+func (q *jobQueue) Push(x any) {
+	j := x.(*Job)
+	j.heapIndex = len(q.jobs)
+	q.jobs = append(q.jobs, j)
+}
+
+// Pop removes the last element (heap.Pop protocol; use pop instead).
+func (q *jobQueue) Pop() any {
+	old := q.jobs
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	q.jobs = old[:n-1]
+	return j
+}
+
+// push enqueues a ready job.
+func (q *jobQueue) push(j *Job) { heap.Push(q, j) }
+
+// pop dequeues the highest-priority job; nil when empty.
+func (q *jobQueue) pop() *Job {
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*Job)
+}
+
+// peek returns the highest-priority job without removing it.
+func (q *jobQueue) peek() *Job {
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	return q.jobs[0]
+}
+
+// drain empties the queue, returning the jobs in priority order.
+func (q *jobQueue) drain() []*Job {
+	var out []*Job
+	for {
+		j := q.pop()
+		if j == nil {
+			return out
+		}
+		out = append(out, j)
+	}
+}

@@ -1,0 +1,283 @@
+// Package sim executes a designed configuration on a model of the
+// paper's 4-core lock-step platform: a discrete-event simulation of the
+// slot cycle (mode switches with overheads, Figure 2), per-channel
+// preemptive RM/DM/EDF scheduling, and transient-fault injection with
+// the checker semantics of internal/platform (FT masks, FS silences,
+// NF corrupts).
+//
+// The simulator is the executable validation of the analysis: a
+// configuration that internal/core proves feasible must complete every
+// job by its deadline here, under any single-transient-fault schedule.
+//
+// Time is integer ticks (internal/timeu) so runs are exact and
+// reproducible. Window boundaries derived from the float64 analysis are
+// rounded in the direction that can only widen the supply, so rounding
+// can never manufacture a deadline miss.
+//
+// Channels never interact — partitioned scheduling, independent tasks —
+// so each channel is simulated independently; with Options.Parallel the
+// seven channels (1 FT + 2 FS + 4 NF) run on separate goroutines and
+// the merged result is still deterministic.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/task"
+	"repro/internal/timeu"
+	"repro/internal/trace"
+)
+
+// Job is one activation of a task inside the simulator.
+type Job struct {
+	TaskName  string
+	TaskIndex int // index in the channel's task list
+	Release   timeu.Ticks
+	Deadline  timeu.Ticks // absolute
+	Total     timeu.Ticks // worst-case computation time
+	Remaining timeu.Ticks
+	Corrupted bool // executed through an NF-mode fault
+	Backup    bool // re-issued by a recovery policy
+	seq       uint64
+	heapIndex int
+}
+
+// Recovery decides what happens to a job killed by a fail-silent
+// channel shutdown. Implementations live in internal/recovery.
+type Recovery interface {
+	// OnAbort receives the aborted job and the abort instant. Returning
+	// ok = true re-enqueues the (possibly modified) job on the same
+	// channel.
+	OnAbort(j Job, now timeu.Ticks) (Job, bool)
+}
+
+// Options configure a run.
+type Options struct {
+	// Horizon is the simulated duration. Zero means one hyperperiod of
+	// the task set.
+	Horizon timeu.Ticks
+	// Injector supplies the fault schedule; nil means no faults.
+	Injector faults.Injector
+	// Recovery handles jobs aborted on silenced FS channels; nil drops
+	// them.
+	Recovery Recovery
+	// CollectTrace records events and execution segments in the result.
+	CollectTrace bool
+	// Parallel simulates the channels on separate goroutines.
+	Parallel bool
+}
+
+// Simulator binds a platform time structure to a task set and an
+// algorithm.
+type Simulator struct {
+	spec  windowSpec
+	tasks task.Set
+	alg   analysis.Alg
+}
+
+// New validates the inputs and builds a Simulator for a single-slot
+// configuration.
+func New(cfg core.Config, tasks task.Set, alg analysis.Alg) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return newWithSpec(specFromConfig(cfg), tasks, alg)
+}
+
+// NewWindows builds a Simulator from an explicit periodic window
+// structure: per-mode usable service intervals and overhead intervals,
+// given as float64 offsets within one period of length p. It is the
+// entry point for multi-quantum layouts (internal/layout); usable
+// window starts are rounded down and ends up, like New's.
+func NewWindows(p float64, usable, overhead map[task.Mode][][2]float64, tasks task.Set, alg analysis.Alg) (*Simulator, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("sim: period %g must be positive", p)
+	}
+	spec := windowSpec{
+		period:   timeu.FromUnits(p),
+		usable:   make(map[task.Mode][]interval, task.NumModes),
+		overhead: make(map[task.Mode][]interval, task.NumModes),
+	}
+	convert := func(src [][2]float64, widen bool) ([]interval, error) {
+		var out []interval
+		for _, w := range src {
+			if w[0] < 0 || w[1] > p+1e-9 || w[0] >= w[1] {
+				return nil, fmt.Errorf("sim: window [%g, %g) invalid for period %g", w[0], w[1], p)
+			}
+			var iv interval
+			if widen {
+				iv = interval{From: timeu.FromUnitsDown(w[0]), To: timeu.FromUnitsUp(w[1])}
+			} else {
+				iv = interval{From: timeu.FromUnitsDown(w[0]), To: timeu.FromUnitsDown(w[1])}
+			}
+			if iv.To > spec.period {
+				iv.To = spec.period
+			}
+			if iv.length() > 0 {
+				out = append(out, iv)
+			}
+		}
+		sortIntervals(out)
+		return out, nil
+	}
+	for _, m := range task.Modes() {
+		u, err := convert(usable[m], true)
+		if err != nil {
+			return nil, err
+		}
+		o, err := convert(overhead[m], false)
+		if err != nil {
+			return nil, err
+		}
+		spec.usable[m], spec.overhead[m] = u, o
+	}
+	return newWithSpec(spec, tasks, alg)
+}
+
+func newWithSpec(spec windowSpec, tasks task.Set, alg analysis.Alg) (*Simulator, error) {
+	if err := tasks.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, task.ErrEmptySet
+	}
+	if alg != analysis.RM && alg != analysis.DM && alg != analysis.EDF {
+		return nil, fmt.Errorf("sim: unsupported algorithm %v", alg)
+	}
+	return &Simulator{spec: spec, tasks: tasks, alg: alg}, nil
+}
+
+// Run simulates [0, horizon) and returns the aggregated result.
+func (s *Simulator) Run(opts Options) (*Result, error) {
+	horizon := opts.Horizon
+	if horizon == 0 {
+		h, err := s.tasks.Hyperperiod(analysis.HyperperiodDenominator)
+		if err != nil {
+			return nil, fmt.Errorf("sim: cannot derive default horizon: %w", err)
+		}
+		horizon = timeu.FromUnits(h)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon %d must be positive", horizon)
+	}
+	injector := opts.Injector
+	if injector == nil {
+		injector = faults.None{}
+	}
+	schedule, err := injector.Schedule(horizon)
+	if err != nil {
+		return nil, fmt.Errorf("sim: fault schedule: %w", err)
+	}
+
+	// Build the per-channel work items.
+	type item struct {
+		id    ChannelID
+		tasks task.Set
+	}
+	var items []item
+	for _, m := range task.Modes() {
+		for ch, sub := range s.tasks.Channels(m) {
+			if len(sub) == 0 {
+				continue
+			}
+			items = append(items, item{id: ChannelID{Mode: m, Ch: ch}, tasks: sub})
+		}
+	}
+
+	results := make([]*channelResult, len(items))
+	runOne := func(i int) error {
+		cr, err := s.runChannel(items[i].id, items[i].tasks, schedule, horizon, opts)
+		if err != nil {
+			return err
+		}
+		results[i] = cr
+		return nil
+	}
+	if opts.Parallel {
+		var wg sync.WaitGroup
+		errs := make([]error, len(items))
+		for i := range items {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = runOne(i)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i := range items {
+			if err := runOne(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res := newResult(horizon, opts.CollectTrace)
+	for _, cr := range results {
+		res.merge(cr)
+	}
+	res.accountFaults(s, schedule, horizon)
+	res.accountPlatform(s, horizon)
+	res.TotalFaults = len(schedule)
+	if res.Trace != nil {
+		res.Trace.Sort()
+	}
+	return res, nil
+}
+
+// runChannel simulates one channel end to end.
+func (s *Simulator) runChannel(id ChannelID, tasks task.Set, schedule []faults.Fault, horizon timeu.Ticks, opts Options) (*channelResult, error) {
+	svc, err := s.serviceIntervals(id, schedule, horizon)
+	if err != nil {
+		return nil, err
+	}
+	corrupt := s.faultOverlaps(id, schedule, horizon)
+	eng := &engine{
+		id:       id,
+		tasks:    tasks,
+		alg:      s.alg,
+		service:  svc.intervals,
+		blockAt:  svc.blockStarts,
+		corrupt:  corrupt,
+		horizon:  horizon,
+		recovery: opts.Recovery,
+	}
+	if opts.CollectTrace {
+		eng.log = &trace.Log{}
+	}
+	return eng.run()
+}
+
+// ChannelID names one execution channel of one mode.
+type ChannelID struct {
+	Mode task.Mode
+	Ch   int
+}
+
+// String renders "FS/1"-style identifiers.
+func (id ChannelID) String() string { return fmt.Sprintf("%s/%d", id.Mode, id.Ch) }
+
+// interval is a half-open tick range [From, To).
+type interval struct {
+	From, To timeu.Ticks
+}
+
+func (iv interval) length() timeu.Ticks { return iv.To - iv.From }
+
+// intersects reports whether [a, b) overlaps iv.
+func (iv interval) intersects(a, b timeu.Ticks) bool { return iv.From < b && a < iv.To }
+
+// sortIntervals orders intervals by start time.
+func sortIntervals(ivs []interval) {
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].From < ivs[j].From })
+}

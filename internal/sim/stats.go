@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/platform"
+	"repro/internal/task"
+	"repro/internal/timeu"
+	"repro/internal/trace"
+)
+
+// TaskStats aggregates the fate of one task's jobs.
+type TaskStats struct {
+	Released  int
+	Completed int
+	// Missed counts jobs finishing after their deadline plus jobs still
+	// unfinished at the horizon whose deadline lies inside it.
+	Missed int
+	// Aborted counts jobs killed by fail-silent channel shutdowns.
+	Aborted int
+	// Recovered counts aborted jobs re-issued by the recovery policy.
+	Recovered int
+	// Corrupted counts completed jobs that executed through an NF fault.
+	Corrupted   int
+	MaxResponse timeu.Ticks
+	SumResponse timeu.Ticks
+}
+
+// AvgResponse returns the mean response time of completed jobs.
+func (ts TaskStats) AvgResponse() timeu.Ticks {
+	if ts.Completed == 0 {
+		return 0
+	}
+	return ts.SumResponse / timeu.Ticks(ts.Completed)
+}
+
+// ChannelStats aggregates one channel's execution accounting.
+type ChannelStats struct {
+	// Service is the total time the channel was available to tasks.
+	Service timeu.Ticks
+	// Busy is the time the channel actually executed jobs; Busy ≤ Service.
+	Busy timeu.Ticks
+	// Silenced counts fail-silent shutdowns that killed a running job.
+	Silenced int
+	// Corruptions counts jobs first marked corrupted on this channel.
+	Corruptions int
+}
+
+// channelResult is the per-channel piece produced by the engine.
+type channelResult struct {
+	ChannelStats
+	id    ChannelID
+	tasks map[string]*TaskStats
+	log   *trace.Log
+}
+
+func newChannelResult(id ChannelID, ts task.Set, log *trace.Log) *channelResult {
+	cr := &channelResult{id: id, tasks: make(map[string]*TaskStats, len(ts)), log: log}
+	for _, t := range ts {
+		cr.tasks[t.Name] = &TaskStats{}
+	}
+	return cr
+}
+
+func (cr *channelResult) task(name string) *TaskStats {
+	ts := cr.tasks[name]
+	if ts == nil {
+		ts = &TaskStats{}
+		cr.tasks[name] = ts
+	}
+	return ts
+}
+
+// Result is the aggregated outcome of a simulation run.
+type Result struct {
+	Horizon timeu.Ticks
+	// Tasks maps task name to its statistics.
+	Tasks map[string]*TaskStats
+	// Channels maps each populated channel to its accounting.
+	Channels map[ChannelID]*ChannelStats
+	// TotalFaults is the number of injected faults.
+	TotalFaults int
+	// Masked counts faults whose condition overlapped FT service: the
+	// redundant lock-step out-voted them.
+	Masked int
+	// Silenced counts fail-silent shutdowns that killed a running job.
+	Silenced int
+	// Corruptions counts jobs corrupted in NF mode.
+	Corruptions int
+	// HarmlessFaults counts faults whose condition never overlapped any
+	// mode's service window (struck during overheads or slack).
+	HarmlessFaults int
+	// ModeService is the usable window time each mode received over the
+	// horizon (per channel of that mode; all channels share the window).
+	ModeService map[task.Mode]timeu.Ticks
+	// OverheadTime is the total time spent in mode switches.
+	OverheadTime timeu.Ticks
+	// SlackTime is the horizon minus windows and overheads: the
+	// unallocated region of each period (plus partial-period remainder).
+	SlackTime timeu.Ticks
+	// Trace is non-nil when Options.CollectTrace was set.
+	Trace *trace.Log
+}
+
+// accountPlatform fills the platform-time ledger: per-mode usable
+// windows, overhead time, and the residual slack. The three always sum
+// to the horizon.
+func (r *Result) accountPlatform(s *Simulator, horizon timeu.Ticks) {
+	r.ModeService = make(map[task.Mode]timeu.Ticks, task.NumModes)
+	var used timeu.Ticks
+	for _, m := range task.Modes() {
+		var svc timeu.Ticks
+		for _, iv := range s.modeWindows(m, horizon) {
+			svc += iv.length()
+		}
+		r.ModeService[m] = svc
+		used += svc
+		for _, iv := range s.overheadWindows(m, horizon) {
+			r.OverheadTime += iv.length()
+		}
+	}
+	r.SlackTime = horizon - used - r.OverheadTime
+}
+
+func newResult(horizon timeu.Ticks, collectTrace bool) *Result {
+	r := &Result{
+		Horizon:  horizon,
+		Tasks:    make(map[string]*TaskStats),
+		Channels: make(map[ChannelID]*ChannelStats),
+	}
+	if collectTrace {
+		r.Trace = &trace.Log{}
+	}
+	return r
+}
+
+func (r *Result) merge(cr *channelResult) {
+	cs := cr.ChannelStats
+	r.Channels[cr.id] = &cs
+	r.Silenced += cr.Silenced
+	r.Corruptions += cr.Corruptions
+	for name, ts := range cr.tasks {
+		r.Tasks[name] = ts
+	}
+	if r.Trace != nil && cr.log != nil {
+		r.Trace.Events = append(r.Trace.Events, cr.log.Events...)
+		r.Trace.Segments = append(r.Trace.Segments, cr.log.Segments...)
+	}
+}
+
+// accountFaults classifies each fault by the service windows its
+// condition overlapped. A long fault can overlap several modes and then
+// counts in each category it reaches; a fault that touches no service
+// window at all is harmless.
+func (r *Result) accountFaults(s *Simulator, schedule []faults.Fault, horizon timeu.Ticks) {
+	ftWindows := s.modeWindows(task.FT, horizon)
+	fsWindows := s.modeWindows(task.FS, horizon)
+	nfWindows := s.modeWindows(task.NF, horizon)
+	for _, f := range schedule {
+		touched := false
+		if overlapsAny(f, ftWindows) {
+			r.Masked++
+			touched = true
+			if r.Trace != nil {
+				r.Trace.Add(trace.Event{At: f.At, Kind: trace.Masked, Mode: task.FT, Core: f.Core})
+			}
+		}
+		if overlapsAny(f, fsWindows) {
+			touched = true
+			if r.Trace != nil {
+				ch, _ := platform.CoreChannel(task.FS, f.Core)
+				r.Trace.Add(trace.Event{At: f.At, Kind: trace.Silenced, Mode: task.FS, Channel: ch, Core: f.Core})
+			}
+		}
+		if overlapsAny(f, nfWindows) {
+			touched = true
+		}
+		if !touched {
+			r.HarmlessFaults++
+		}
+		if r.Trace != nil {
+			r.Trace.Add(trace.Event{At: f.At, Kind: trace.FaultStrike, Core: f.Core})
+			r.Trace.Add(trace.Event{At: f.End(), Kind: trace.FaultClear, Core: f.Core})
+		}
+	}
+}
+
+func overlapsAny(f faults.Fault, windows []interval) bool {
+	for _, w := range windows {
+		if w.intersects(f.At, f.End()) {
+			return true
+		}
+	}
+	return false
+}
+
+// TotalMisses sums deadline misses over all tasks.
+func (r *Result) TotalMisses() int {
+	n := 0
+	for _, ts := range r.Tasks {
+		n += ts.Missed
+	}
+	return n
+}
+
+// TotalReleased sums job releases over all tasks.
+func (r *Result) TotalReleased() int {
+	n := 0
+	for _, ts := range r.Tasks {
+		n += ts.Released
+	}
+	return n
+}
+
+// TotalCompleted sums completions over all tasks.
+func (r *Result) TotalCompleted() int {
+	n := 0
+	for _, ts := range r.Tasks {
+		n += ts.Completed
+	}
+	return n
+}
+
+// Summary renders a human-readable digest: one line per task plus the
+// fault tallies, suitable for CLI output.
+func (r *Result) Summary() string {
+	names := make([]string, 0, len(r.Tasks))
+	for n := range r.Tasks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "horizon %s\n", r.Horizon)
+	for _, n := range names {
+		ts := r.Tasks[n]
+		fmt.Fprintf(&b, "%-8s released %4d  completed %4d  missed %3d  aborted %2d  recovered %2d  corrupted %2d  maxResp %s\n",
+			n, ts.Released, ts.Completed, ts.Missed, ts.Aborted, ts.Recovered, ts.Corrupted, ts.MaxResponse)
+	}
+	fmt.Fprintf(&b, "faults %d: masked %d, silenced-kills %d, corruptions %d, harmless %d\n",
+		r.TotalFaults, r.Masked, r.Silenced, r.Corruptions, r.HarmlessFaults)
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/platform"
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+// serviceWindows holds a channel's availability over the horizon.
+type serviceWindows struct {
+	// intervals are the times the channel serves tasks, sorted, disjoint.
+	intervals []interval
+	// blockStarts marks instants at which a fail-silent shutdown cut a
+	// window short; a job executing at such an instant is aborted.
+	blockStarts map[timeu.Ticks]bool
+}
+
+// windowSpec describes the platform's periodic time structure in ticks:
+// per-mode usable windows and overhead windows as offsets within one
+// period. A Config produces one window per mode; a layout.Layout may
+// produce several (the multi-quantum extension).
+type windowSpec struct {
+	period   timeu.Ticks
+	usable   map[task.Mode][]interval
+	overhead map[task.Mode][]interval
+}
+
+// specFromConfig converts a Config to its window spec. Usable starts
+// are rounded down and ends up, so rounding can only widen the supply
+// relative to the float64 analysis (a 1-tick overlap with neighbouring
+// overhead time is harmless: overheads execute no tasks).
+func specFromConfig(cfg core.Config) windowSpec {
+	spec := windowSpec{
+		period:   timeu.FromUnits(cfg.P),
+		usable:   make(map[task.Mode][]interval, task.NumModes),
+		overhead: make(map[task.Mode][]interval, task.NumModes),
+	}
+	for _, m := range task.Modes() {
+		slotStart := cfg.SlotStart(m)
+		uFrom := timeu.FromUnitsDown(slotStart + cfg.O.Of(m))
+		uTo := timeu.FromUnitsUp(slotStart + cfg.Q.Of(m))
+		if uTo > spec.period {
+			uTo = spec.period
+		}
+		if uFrom > uTo {
+			uFrom = uTo
+		}
+		if uTo > uFrom {
+			spec.usable[m] = []interval{{From: uFrom, To: uTo}}
+		}
+		oFrom := timeu.FromUnitsDown(slotStart)
+		if uFrom > oFrom {
+			spec.overhead[m] = []interval{{From: oFrom, To: uFrom}}
+		}
+	}
+	return spec
+}
+
+// periodTicks returns the slot-cycle period in ticks.
+func (s *Simulator) periodTicks() timeu.Ticks { return s.spec.period }
+
+// repeat materialises periodic per-period offsets over [0, horizon).
+func repeat(offsets []interval, period, horizon timeu.Ticks) []interval {
+	var out []interval
+	for base := timeu.Ticks(0); base < horizon; base += period {
+		for _, w := range offsets {
+			iv := interval{From: base + w.From, To: base + w.To}
+			if iv.From >= horizon {
+				break
+			}
+			if iv.To > horizon {
+				iv.To = horizon
+			}
+			if iv.length() > 0 {
+				out = append(out, iv)
+			}
+		}
+	}
+	return out
+}
+
+// modeWindows materialises the usable windows of mode m over [0, horizon).
+func (s *Simulator) modeWindows(m task.Mode, horizon timeu.Ticks) []interval {
+	return repeat(s.spec.usable[m], s.spec.period, horizon)
+}
+
+// overheadWindows materialises the mode-switch overhead intervals of
+// mode m (the prefix of each of its sub-slots) over the horizon, for
+// platform-time accounting.
+func (s *Simulator) overheadWindows(m task.Mode, horizon timeu.Ticks) []interval {
+	return repeat(s.spec.overhead[m], s.spec.period, horizon)
+}
+
+// channelFaults returns the fault intervals that afflict the given
+// channel: faults on one of the channel's cores, clipped to the horizon.
+func channelFaults(id ChannelID, schedule []faults.Fault, horizon timeu.Ticks) []interval {
+	var out []interval
+	for _, f := range schedule {
+		ch, err := platform.CoreChannel(id.Mode, f.Core)
+		if err != nil || ch != id.Ch {
+			continue
+		}
+		iv := interval{From: f.At, To: f.End()}
+		if iv.From >= horizon {
+			continue
+		}
+		if iv.To > horizon {
+			iv.To = horizon
+		}
+		if iv.length() > 0 {
+			out = append(out, iv)
+		}
+	}
+	sortIntervals(out)
+	return out
+}
+
+// serviceIntervals computes the channel's service availability: the
+// mode's usable windows, minus — for fail-silent channels — the
+// intervals during which the checker has blocked the channel because one
+// of its cores is faulty. FT channels keep serving through faults
+// (majority vote); NF channels keep serving too, but corruption is
+// tracked separately (faultOverlaps).
+func (s *Simulator) serviceIntervals(id ChannelID, schedule []faults.Fault, horizon timeu.Ticks) (serviceWindows, error) {
+	windows := s.modeWindows(id.Mode, horizon)
+	sw := serviceWindows{blockStarts: map[timeu.Ticks]bool{}}
+	if id.Mode != task.FS {
+		sw.intervals = windows
+		return sw, nil
+	}
+	blocks := channelFaults(id, schedule, horizon)
+	for _, w := range windows {
+		cur := w
+		for _, b := range blocks {
+			if !cur.intersects(b.From, b.To) {
+				continue
+			}
+			if b.From > cur.From {
+				// The block cuts a serving segment short: whatever job is
+				// executing at b.From must be aborted.
+				sw.intervals = append(sw.intervals, interval{From: cur.From, To: b.From})
+				sw.blockStarts[b.From] = true
+			}
+			if b.To >= cur.To {
+				cur = interval{From: cur.To, To: cur.To} // window fully consumed
+				break
+			}
+			cur = interval{From: maxTick(b.To, cur.From), To: cur.To}
+		}
+		if cur.length() > 0 {
+			sw.intervals = append(sw.intervals, cur)
+		}
+	}
+	sortIntervals(sw.intervals)
+	return sw, nil
+}
+
+// faultOverlaps returns, for NF channels, the intervals during which
+// execution on the channel is corrupted: the intersection of the
+// channel's fault intervals with its service windows. Other modes
+// return nil (FT masks, FS blocks instead of corrupting).
+func (s *Simulator) faultOverlaps(id ChannelID, schedule []faults.Fault, horizon timeu.Ticks) []interval {
+	if id.Mode != task.NF {
+		return nil
+	}
+	windows := s.modeWindows(id.Mode, horizon)
+	var out []interval
+	for _, f := range channelFaults(id, schedule, horizon) {
+		for _, w := range windows {
+			from, to := maxTick(f.From, w.From), minTick(f.To, w.To)
+			if to > from {
+				out = append(out, interval{From: from, To: to})
+			}
+		}
+	}
+	sortIntervals(out)
+	return out
+}
+
+func maxTick(a, b timeu.Ticks) timeu.Ticks {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minTick(a, b timeu.Ticks) timeu.Ticks {
+	if a < b {
+		return a
+	}
+	return b
+}

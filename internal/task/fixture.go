@@ -1,0 +1,31 @@
+package task
+
+// PaperTaskSet returns the 13-task workload of Table 1 in the paper,
+// partitioned onto channels exactly as in Section 4:
+//
+//	NF: T¹ = {τ1}, T² = {τ2, τ3}, T³ = {τ4}, T⁴ = {τ5}
+//	FS: T¹ = {τ6, τ7, τ8}, T² = {τ9}
+//	FT: all of {τ10, τ11, τ12, τ13} on the single channel
+//
+// Deadlines are implicit (Di = Ti), as in the paper's example.
+func PaperTaskSet() Set {
+	return Set{
+		{Name: "tau1", C: 1, T: 6, D: 6, Mode: NF, Channel: 0},
+		{Name: "tau2", C: 1, T: 8, D: 8, Mode: NF, Channel: 1},
+		{Name: "tau3", C: 1, T: 12, D: 12, Mode: NF, Channel: 1},
+		{Name: "tau4", C: 2, T: 10, D: 10, Mode: NF, Channel: 2},
+		{Name: "tau5", C: 6, T: 24, D: 24, Mode: NF, Channel: 3},
+		{Name: "tau6", C: 1, T: 10, D: 10, Mode: FS, Channel: 0},
+		{Name: "tau7", C: 1, T: 15, D: 15, Mode: FS, Channel: 0},
+		{Name: "tau8", C: 2, T: 20, D: 20, Mode: FS, Channel: 0},
+		{Name: "tau9", C: 1, T: 4, D: 4, Mode: FS, Channel: 1},
+		{Name: "tau10", C: 1, T: 12, D: 12, Mode: FT, Channel: 0},
+		{Name: "tau11", C: 1, T: 15, D: 15, Mode: FT, Channel: 0},
+		{Name: "tau12", C: 1, T: 20, D: 20, Mode: FT, Channel: 0},
+		{Name: "tau13", C: 2, T: 30, D: 30, Mode: FT, Channel: 0},
+	}
+}
+
+// PaperOverheadTotal is the total mode-switch overhead O_tot used in the
+// paper's worked example (Section 4, "realistic example").
+const PaperOverheadTotal = 0.05

@@ -1,0 +1,84 @@
+package task
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonTask is the wire representation of a Task. Mode is textual so that
+// task-set files are self-describing.
+type jsonTask struct {
+	Name    string  `json:"name"`
+	C       float64 `json:"c"`
+	T       float64 `json:"t"`
+	D       float64 `json:"d,omitempty"`
+	Mode    string  `json:"mode"`
+	Channel int     `json:"channel"`
+}
+
+// jsonFile is the task-set file format: {"tasks": [...]}.
+type jsonFile struct {
+	Tasks []jsonTask `json:"tasks"`
+}
+
+// MarshalJSON encodes the task with its textual mode.
+func (t Task) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonTask{
+		Name: t.Name, C: t.C, T: t.T, D: t.D,
+		Mode: t.Mode.String(), Channel: t.Channel,
+	})
+}
+
+// UnmarshalJSON decodes the wire representation, normalising D to T when
+// omitted.
+func (t *Task) UnmarshalJSON(data []byte) error {
+	var j jsonTask
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	m, err := ParseMode(j.Mode)
+	if err != nil {
+		return fmt.Errorf("task %q: %w", j.Name, err)
+	}
+	*t = Task{Name: j.Name, C: j.C, T: j.T, D: j.D, Mode: m, Channel: j.Channel}.Normalized()
+	return nil
+}
+
+// WriteJSON writes the set to w as an indented task-set file.
+func (s Set) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonFile{Tasks: toJSONTasks(s)})
+}
+
+func toJSONTasks(s Set) []jsonTask {
+	out := make([]jsonTask, len(s))
+	for i, t := range s {
+		out[i] = jsonTask{Name: t.Name, C: t.C, T: t.T, D: t.D, Mode: t.Mode.String(), Channel: t.Channel}
+	}
+	return out
+}
+
+// ReadJSON parses a task-set file, normalises deadlines and validates
+// the result.
+func ReadJSON(r io.Reader) (Set, error) {
+	var f jsonFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("task: parsing task-set file: %w", err)
+	}
+	s := make(Set, 0, len(f.Tasks))
+	for _, j := range f.Tasks {
+		m, err := ParseMode(j.Mode)
+		if err != nil {
+			return nil, fmt.Errorf("task %q: %w", j.Name, err)
+		}
+		s = append(s, Task{Name: j.Name, C: j.C, T: j.T, D: j.D, Mode: m, Channel: j.Channel}.Normalized())
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,81 @@
+package task
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := PaperTaskSet()
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(s) {
+		t.Fatalf("round trip produced %d tasks, want %d", len(got), len(s))
+	}
+	for i := range s {
+		if got[i] != s[i] {
+			t.Errorf("task %d: got %+v, want %+v", i, got[i], s[i])
+		}
+	}
+}
+
+func TestReadJSONDefaultsDeadline(t *testing.T) {
+	in := `{"tasks":[{"name":"a","c":1,"t":10,"mode":"NF","channel":0}]}`
+	s, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0].D != 10 {
+		t.Errorf("omitted deadline should default to T, got %g", s[0].D)
+	}
+}
+
+func TestReadJSONRejectsBadMode(t *testing.T) {
+	in := `{"tasks":[{"name":"a","c":1,"t":10,"mode":"QQ","channel":0}]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Error("bad mode should be rejected")
+	}
+}
+
+func TestReadJSONRejectsInvalidTask(t *testing.T) {
+	in := `{"tasks":[{"name":"a","c":20,"t":10,"mode":"NF","channel":0}]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Error("C > T should be rejected by validation")
+	}
+}
+
+func TestReadJSONRejectsUnknownFields(t *testing.T) {
+	in := `{"tasks":[], "bogus": 1}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Error("unknown top-level fields should be rejected")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}
+
+func TestTaskUnmarshalDirect(t *testing.T) {
+	var tk Task
+	if err := tk.UnmarshalJSON([]byte(`{"name":"x","c":1,"t":8,"mode":"fs","channel":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Mode != FS || tk.D != 8 || tk.Channel != 1 {
+		t.Errorf("unmarshal produced %+v", tk)
+	}
+	if err := tk.UnmarshalJSON([]byte(`{`)); err == nil {
+		t.Error("truncated JSON should error")
+	}
+	if err := tk.UnmarshalJSON([]byte(`{"mode":"zz"}`)); err == nil {
+		t.Error("bad mode should error")
+	}
+}

@@ -1,0 +1,214 @@
+// Package trace records what happened during a simulation run: discrete
+// events (releases, completions, faults, …) and continuous execution
+// segments, plus an ASCII Gantt renderer for inspecting small windows.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+// Kind classifies a discrete event.
+type Kind int
+
+const (
+	// Release marks a job arrival.
+	Release Kind = iota
+	// Complete marks a job finishing within its deadline.
+	Complete
+	// Miss marks a deadline miss (at completion or at the deadline for
+	// unfinished jobs).
+	Miss
+	// Abort marks a job killed by a fail-silent channel shutdown.
+	Abort
+	// FaultStrike marks a transient fault hitting a core.
+	FaultStrike
+	// FaultClear marks the end of a transient fault.
+	FaultClear
+	// Masked marks a fault neutralised by the FT majority vote.
+	Masked
+	// Silenced marks a fail-silent channel being blocked by the checker.
+	Silenced
+	// Corrupted marks a job that executed through a fault in NF mode and
+	// produced a wrong result (undetected by construction).
+	Corrupted
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case Release:
+		return "release"
+	case Complete:
+		return "complete"
+	case Miss:
+		return "miss"
+	case Abort:
+		return "abort"
+	case FaultStrike:
+		return "fault-strike"
+	case FaultClear:
+		return "fault-clear"
+	case Masked:
+		return "masked"
+	case Silenced:
+		return "silenced"
+	case Corrupted:
+		return "corrupted"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one discrete occurrence.
+type Event struct {
+	At      timeu.Ticks
+	Kind    Kind
+	Task    string    // task name, empty for platform events
+	Mode    task.Mode // mode in whose slot the event falls
+	Channel int       // channel index within the mode
+	Core    int       // core index for fault events, -1 otherwise
+	Detail  string    // free-form context
+}
+
+// Segment is a maximal interval during which one job executed.
+type Segment struct {
+	From, To timeu.Ticks
+	Task     string
+	Mode     task.Mode
+	Channel  int
+}
+
+// Log accumulates events and segments. The zero value is ready to use;
+// a nil *Log discards everything, so simulation code can trace
+// unconditionally.
+type Log struct {
+	Events   []Event
+	Segments []Segment
+}
+
+// Add appends an event. No-op on a nil log.
+func (l *Log) Add(e Event) {
+	if l == nil {
+		return
+	}
+	l.Events = append(l.Events, e)
+}
+
+// AddSegment appends an execution segment, merging it with the previous
+// one when contiguous (same task, channel and mode, abutting times).
+func (l *Log) AddSegment(s Segment) {
+	if l == nil || s.To <= s.From {
+		return
+	}
+	if n := len(l.Segments); n > 0 {
+		last := &l.Segments[n-1]
+		if last.Task == s.Task && last.Channel == s.Channel && last.Mode == s.Mode && last.To == s.From {
+			last.To = s.To
+			return
+		}
+	}
+	l.Segments = append(l.Segments, s)
+}
+
+// Sort orders events by time (stable on insertion order) and segments by
+// start. Simulations that run channels concurrently call this once at
+// the end to make the log deterministic.
+func (l *Log) Sort() {
+	if l == nil {
+		return
+	}
+	sort.SliceStable(l.Events, func(i, j int) bool { return l.Events[i].At < l.Events[j].At })
+	sort.SliceStable(l.Segments, func(i, j int) bool {
+		if l.Segments[i].From != l.Segments[j].From {
+			return l.Segments[i].From < l.Segments[j].From
+		}
+		return l.Segments[i].Task < l.Segments[j].Task
+	})
+}
+
+// Filter returns the events of the given kind.
+func (l *Log) Filter(k Kind) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.Events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many events of kind k were recorded.
+func (l *Log) Count(k Kind) int { return len(l.Filter(k)) }
+
+// Gantt renders the execution segments overlapping [from, to) as an
+// ASCII chart with the given number of columns: one row per task (sorted
+// by name), '#' where the task runs, '.' where it does not. It is meant
+// for eyeballing a few periods, not for bulk output.
+func (l *Log) Gantt(from, to timeu.Ticks, cols int) string {
+	if l == nil || to <= from || cols <= 0 {
+		return ""
+	}
+	names := map[string]bool{}
+	for _, s := range l.Segments {
+		if s.To > from && s.From < to {
+			names[s.Task] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	width := 0
+	for _, n := range sorted {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	span := float64(to - from)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  t=[%s, %s)\n", width, "", from, to)
+	for _, n := range sorted {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range l.Segments {
+			if s.Task != n || s.To <= from || s.From >= to {
+				continue
+			}
+			lo := int(float64(max(s.From, from)-from) / span * float64(cols))
+			hi := int(float64(min(s.To, to)-from) / span * float64(cols))
+			if hi == lo && hi < cols {
+				hi = lo + 1
+			}
+			for i := lo; i < hi && i < cols; i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%*s  %s\n", width, n, row)
+	}
+	return b.String()
+}
+
+func max(a, b timeu.Ticks) timeu.Ticks {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b timeu.Ticks) timeu.Ticks {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+// Package workload generates synthetic task sets for experiments beyond
+// the paper's single 13-task example: acceptance-ratio studies,
+// partitioning-heuristic comparisons, and scaling benchmarks.
+//
+// Utilisations are drawn with the UUniFast algorithm (Bini & Buttazzo),
+// the standard unbiased way to split a total utilisation across n tasks;
+// periods are drawn log-uniformly from a discrete grid so hyperperiods
+// stay small enough for exact EDF analysis.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/task"
+)
+
+// DefaultPeriods is the period grid used when Config.Periods is empty.
+// All values divide 7200, keeping hyperperiods bounded.
+var DefaultPeriods = []float64{4, 5, 6, 8, 10, 12, 15, 16, 20, 24, 25, 30, 40, 48, 50, 60, 75, 80, 100, 120}
+
+// Config describes a random workload.
+type Config struct {
+	// N is the number of tasks.
+	N int
+	// TotalUtilization is split across the tasks by UUniFast. It refers
+	// to the whole set, before mode assignment.
+	TotalUtilization float64
+	// Periods is the discrete period grid; empty means DefaultPeriods.
+	Periods []float64
+	// ModeShare weighs the probability of assigning each mode; zero
+	// values are allowed. A zero struct means equal shares.
+	ModeShare struct{ FT, FS, NF float64 }
+	// ConstrainedDeadlines, when true, draws D uniformly from [C, T]
+	// instead of using implicit deadlines.
+	ConstrainedDeadlines bool
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// UUniFast splits total utilisation u across n tasks without bias. The
+// classic recurrence draws the remaining sum with the right Beta
+// distribution via s_{i+1} = s_i · r^{1/(n-i)}.
+func UUniFast(rng *rand.Rand, n int, u float64) []float64 {
+	out := make([]float64, n)
+	sum := u
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-i-1))
+		out[i] = sum - next
+		sum = next
+	}
+	if n > 0 {
+		out[n-1] = sum
+	}
+	return out
+}
+
+// Generate produces a valid task set per the config. Tasks are assigned
+// modes by ModeShare and channels round-robin within each mode (callers
+// usually re-partition with internal/partition).
+func Generate(cfg Config) (task.Set, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("workload: N = %d must be positive", cfg.N)
+	}
+	if cfg.TotalUtilization <= 0 || cfg.TotalUtilization > float64(cfg.N) {
+		return nil, fmt.Errorf("workload: total utilisation %g outside (0, N]", cfg.TotalUtilization)
+	}
+	periods := cfg.Periods
+	if len(periods) == 0 {
+		periods = DefaultPeriods
+	}
+	share := cfg.ModeShare
+	if share.FT == 0 && share.FS == 0 && share.NF == 0 {
+		share.FT, share.FS, share.NF = 1, 1, 1
+	}
+	if share.FT < 0 || share.FS < 0 || share.NF < 0 {
+		return nil, fmt.Errorf("workload: negative mode share")
+	}
+	total := share.FT + share.FS + share.NF
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	utils := UUniFast(rng, cfg.N, cfg.TotalUtilization)
+	s := make(task.Set, 0, cfg.N)
+	nextChannel := map[task.Mode]int{}
+	for i, u := range utils {
+		// Log-uniform period choice from the grid.
+		T := periods[rng.Intn(len(periods))]
+		c := u * T
+		if c <= 0 {
+			c = 1e-3 // UUniFast can emit ~0 utilisations; keep tasks valid
+		}
+		if c > T {
+			c = T
+		}
+		d := T
+		if cfg.ConstrainedDeadlines {
+			d = c + rng.Float64()*(T-c)
+		}
+		m := pickMode(rng, share, total)
+		ch := nextChannel[m] % m.Channels()
+		nextChannel[m]++
+		s = append(s, task.Task{
+			Name: fmt.Sprintf("tau%d", i+1),
+			C:    c, T: T, D: d,
+			Mode: m, Channel: ch,
+		})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid set: %w", err)
+	}
+	return s, nil
+}
+
+func pickMode(rng *rand.Rand, share struct{ FT, FS, NF float64 }, total float64) task.Mode {
+	r := rng.Float64() * total
+	switch {
+	case r < share.FT:
+		return task.FT
+	case r < share.FT+share.FS:
+		return task.FS
+	default:
+		return task.NF
+	}
+}

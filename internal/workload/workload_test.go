@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/task"
+)
+
+func TestUUniFastSumsToTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(nRaw uint8, uRaw uint16) bool {
+		n := int(nRaw%20) + 1
+		u := float64(uRaw%1000)/1000*float64(n)*0.9 + 0.01
+		us := UUniFast(rng, n, u)
+		if len(us) != n {
+			return false
+		}
+		sum := 0.0
+		for _, v := range us {
+			if v < -1e-12 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-u) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUUniFastDistribution(t *testing.T) {
+	// The mean utilisation of each slot must be u/n (unbiasedness).
+	rng := rand.New(rand.NewSource(2))
+	const trials, n, u = 4000, 5, 2.0
+	sums := make([]float64, n)
+	for i := 0; i < trials; i++ {
+		for j, v := range UUniFast(rng, n, u) {
+			sums[j] += v
+		}
+	}
+	for j, s := range sums {
+		mean := s / trials
+		if math.Abs(mean-u/n) > 0.03 {
+			t.Errorf("slot %d mean %g deviates from %g", j, mean, u/n)
+		}
+	}
+}
+
+func TestGenerateValid(t *testing.T) {
+	s, err := Generate(Config{N: 20, TotalUtilization: 3.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 20 {
+		t.Fatalf("generated %d tasks, want 20", len(s))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("generated set invalid: %v", err)
+	}
+	if u := s.Utilization(); math.Abs(u-3.0) > 0.15 {
+		t.Errorf("total utilisation %g far from requested 3.0", u)
+	}
+	// All three modes present with equal shares and 20 draws, almost surely.
+	for _, m := range task.Modes() {
+		if len(s.ByMode(m)) == 0 {
+			t.Errorf("mode %s received no tasks", m)
+		}
+	}
+	// Hyperperiod must stay finite/representable.
+	if _, err := s.Hyperperiod(1_000_000); err != nil {
+		t.Errorf("hyperperiod not representable: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{N: 10, TotalUtilization: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{N: 10, TotalUtilization: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must generate the same workload")
+		}
+	}
+	c, err := Generate(Config{N: 10, TotalUtilization: 2, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateConstrainedDeadlines(t *testing.T) {
+	s, err := Generate(Config{N: 30, TotalUtilization: 4, ConstrainedDeadlines: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawConstrained := false
+	for _, tk := range s {
+		if tk.D < tk.C-1e-12 || tk.D > tk.T+1e-12 {
+			t.Errorf("task %s: D=%g outside [C=%g, T=%g]", tk.Name, tk.D, tk.C, tk.T)
+		}
+		if tk.D < tk.T {
+			sawConstrained = true
+		}
+	}
+	if !sawConstrained {
+		t.Error("constrained mode should produce some D < T")
+	}
+}
+
+func TestGenerateModeShare(t *testing.T) {
+	cfg := Config{N: 40, TotalUtilization: 4, Seed: 9}
+	cfg.ModeShare.NF = 1 // only NF
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ByMode(task.NF)) != 40 {
+		t.Error("all tasks should be NF")
+	}
+	cfg.ModeShare.NF = -1
+	if _, err := Generate(cfg); err == nil {
+		t.Error("negative share should be rejected")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{N: 0, TotalUtilization: 1}); err == nil {
+		t.Error("N=0 should error")
+	}
+	if _, err := Generate(Config{N: 5, TotalUtilization: 0}); err == nil {
+		t.Error("zero utilisation should error")
+	}
+	if _, err := Generate(Config{N: 5, TotalUtilization: 6}); err == nil {
+		t.Error("utilisation beyond N should error")
+	}
+}
+
+func TestGenerateRoundRobinChannels(t *testing.T) {
+	cfg := Config{N: 8, TotalUtilization: 1, Seed: 3}
+	cfg.ModeShare.NF = 1
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin over 4 NF channels: two tasks per channel.
+	for ch, sub := range s.Channels(task.NF) {
+		if len(sub) != 2 {
+			t.Errorf("channel %d has %d tasks, want 2", ch, len(sub))
+		}
+	}
+}

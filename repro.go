@@ -1,0 +1,249 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/faults"
+	"repro/internal/layout"
+	"repro/internal/online"
+	"repro/internal/partition"
+	"repro/internal/region"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/timeu"
+	"repro/internal/workload"
+)
+
+// Aliases re-exporting the library's primary types, so module-local
+// consumers (cmd/, examples/) need a single import.
+type (
+	// Task is one sporadic real-time task (C, T, D, mode, channel).
+	Task = task.Task
+	// TaskSet is an ordered collection of tasks.
+	TaskSet = task.Set
+	// Mode is the operating mode a task requires (FT, FS or NF).
+	Mode = task.Mode
+	// Alg selects the per-channel scheduler (RM, DM or EDF).
+	Alg = analysis.Alg
+	// Problem is a design problem: tasks + algorithm + overheads.
+	Problem = core.Problem
+	// Config is a concrete platform configuration (P, slots, overheads).
+	Config = core.Config
+	// PerMode carries one value per operating mode.
+	PerMode = core.PerMode
+	// Goal selects the design objective of Section 4.
+	Goal = design.Goal
+	// Solution is a fully worked design (Table 2 row set).
+	Solution = design.Solution
+	// SweepPoint is one sample of the Figure 4 curve.
+	SweepPoint = region.Point
+	// ExploreOptions tune the design-space searches.
+	ExploreOptions = region.Options
+	// SimOptions configure a simulation run.
+	SimOptions = sim.Options
+	// SimResult aggregates a simulation's outcome.
+	SimResult = sim.Result
+	// Fault is one transient soft error.
+	Fault = faults.Fault
+	// FaultScript replays a fixed fault list.
+	FaultScript = faults.Script
+	// PoissonFaults injects faults with exponential inter-arrivals.
+	PoissonFaults = faults.Poisson
+	// Ticks is simulator time (1e9 ticks per analysis time unit).
+	Ticks = timeu.Ticks
+	// WorkloadConfig describes a synthetic workload.
+	WorkloadConfig = workload.Config
+	// PartitionOptions configure automatic channel assignment.
+	PartitionOptions = partition.Options
+)
+
+// Re-exported enum values.
+const (
+	// FT is the fault-tolerant mode (redundant lock-step, faults masked).
+	FT = task.FT
+	// FS is the fail-silent mode (lock-step pairs, faults detected).
+	FS = task.FS
+	// NF is the non-fault-tolerant mode (full parallelism).
+	NF = task.NF
+
+	// RM is fixed-priority scheduling with Rate Monotonic priorities.
+	RM = analysis.RM
+	// DM is fixed-priority scheduling with Deadline Monotonic priorities.
+	DM = analysis.DM
+	// EDF is Earliest Deadline First.
+	EDF = analysis.EDF
+
+	// MinOverheadBandwidth maximises the period (Table 2(b)).
+	MinOverheadBandwidth = design.MinOverheadBandwidth
+	// MaxFlexibility maximises redistributable slack (Table 2(c)).
+	MaxFlexibility = design.MaxFlexibility
+)
+
+// PaperTaskSet returns the 13-task workload of the paper's Table 1 with
+// its Section 4 channel partition.
+func PaperTaskSet() TaskSet { return task.PaperTaskSet() }
+
+// PaperOverheadTotal is the O_tot = 0.05 of the paper's worked example.
+const PaperOverheadTotal = task.PaperOverheadTotal
+
+// NewProblem assembles and validates a design problem with the total
+// mode-switch overhead split uniformly across the three switches.
+func NewProblem(tasks TaskSet, alg Alg, totalOverhead float64) (Problem, error) {
+	pr := Problem{Tasks: tasks.Normalized(), Alg: alg, O: core.UniformOverheads(totalOverhead)}
+	if err := pr.Validate(); err != nil {
+		return Problem{}, err
+	}
+	return pr, nil
+}
+
+// PaperProblem is the paper's Section 4 example: Table 1 tasks, the
+// given algorithm, O_tot = 0.05.
+func PaperProblem(alg Alg) Problem {
+	return Problem{Tasks: task.PaperTaskSet(), Alg: alg, O: core.UniformOverheads(PaperOverheadTotal)}
+}
+
+// Design solves the problem for one goal with default search options.
+func Design(pr Problem, goal Goal) (Solution, error) {
+	return design.Solve(pr, goal, region.Options{})
+}
+
+// DesignBoth solves the two design goals of Section 4 side by side.
+func DesignBoth(pr Problem) (maxPeriod, maxSlack Solution, err error) {
+	return design.Both(pr, region.Options{})
+}
+
+// Explore samples the Figure 4 curve lhs(P) over (0, opts.PMax].
+func Explore(pr Problem, opts ExploreOptions) ([]SweepPoint, error) {
+	return region.Sweep(pr, opts)
+}
+
+// MaxFeasiblePeriod returns the largest period satisfying Eq. (15).
+func MaxFeasiblePeriod(pr Problem, opts ExploreOptions) (float64, error) {
+	return region.MaxFeasiblePeriod(pr, opts)
+}
+
+// MaxAdmissibleOverhead returns the largest total overhead with a
+// feasible period, and the period attaining it.
+func MaxAdmissibleOverhead(pr Problem, opts ExploreOptions) (period, overhead float64, err error) {
+	return region.MaxAdmissibleOverhead(pr, opts)
+}
+
+// Simulate runs the configuration on the modelled 4-core platform.
+func Simulate(cfg Config, tasks TaskSet, alg Alg, opts SimOptions) (*SimResult, error) {
+	s, err := sim.New(cfg, tasks, alg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(opts)
+}
+
+// AutoPartition assigns tasks to channels with worst-fit decreasing —
+// the balance-oriented default — admitting by exact schedulability
+// under alg. Pass custom options via AutoPartitionWith.
+func AutoPartition(tasks TaskSet, alg Alg) (TaskSet, error) {
+	return partition.Assign(tasks, partition.Options{
+		Heuristic:  partition.WorstFit,
+		Decreasing: true,
+		Alg:        alg,
+	})
+}
+
+// AutoPartitionWith assigns tasks to channels with explicit options.
+func AutoPartitionWith(tasks TaskSet, opts PartitionOptions) (TaskSet, error) {
+	return partition.Assign(tasks, opts)
+}
+
+// GenerateWorkload produces a synthetic task set (UUniFast utilisations,
+// log-uniform periods).
+func GenerateWorkload(cfg WorkloadConfig) (TaskSet, error) { return workload.Generate(cfg) }
+
+// FromUnits converts analysis time units to simulator ticks.
+func FromUnits(u float64) Ticks { return timeu.FromUnits(u) }
+
+// FormatTaskTable renders the task set like the paper's Table 1.
+func FormatTaskTable(s TaskSet) string { return report.TaskTable(s) }
+
+// FormatSolutions renders solutions like the paper's Table 2.
+func FormatSolutions(sols ...Solution) string { return report.SolutionTable(sols...) }
+
+// WriteSweepCSV writes Figure 4 series as CSV.
+func WriteSweepCSV(w io.Writer, series map[string][]SweepPoint) error {
+	return report.WriteCSV(w, series)
+}
+
+// ReadTaskSet parses a task-set JSON file.
+func ReadTaskSet(r io.Reader) (TaskSet, error) { return task.ReadJSON(r) }
+
+// WriteTaskSet writes a task-set JSON file.
+func WriteTaskSet(w io.Writer, s TaskSet) error { return s.WriteJSON(w) }
+
+// Extensions beyond the paper's evaluation (its Section 5 future work).
+
+// OnlineManager admits and releases tasks at run time within the
+// period's slack, preserving all guarantees (see internal/online).
+type OnlineManager = online.Manager
+
+// NewOnlineManager starts run-time management from a verified design.
+func NewOnlineManager(pr Problem, cfg Config) (*OnlineManager, error) {
+	return online.NewManager(pr, cfg)
+}
+
+// ErrAdmissionRejected is returned by OnlineManager.Admit when the
+// arriving task does not fit in the available slack.
+var ErrAdmissionRejected = online.ErrRejected
+
+// SplitSolution is a design whose quanta are delivered as several
+// sub-slots per period (the paper's multi-quantum extension).
+type SplitSolution = design.SplitSolution
+
+// SolveSplit sizes the k-sub-slot design at a fixed period.
+func SolveSplit(pr Problem, p float64, k int) (SplitSolution, error) {
+	return design.SolveSplitAt(pr, p, k)
+}
+
+// BestSplit picks the sub-slot count (≤ kMax) minimising allocated
+// bandwidth at a fixed period.
+func BestSplit(pr Problem, p float64, kMax int) (SplitSolution, error) {
+	return design.BestSplit(pr, p, kMax)
+}
+
+// ExploreParallel is Explore with the samples fanned out over a worker
+// pool (0 workers = GOMAXPROCS).
+func ExploreParallel(pr Problem, opts ExploreOptions, workers int) ([]SweepPoint, error) {
+	return region.SweepParallel(pr, opts, workers)
+}
+
+// CriticalScaling returns the largest factor by which all computation
+// times can grow while period p stays feasible (sensitivity analysis).
+func CriticalScaling(pr Problem, p float64) (float64, error) {
+	return region.CriticalScaling(pr, p)
+}
+
+// SubSlotCounts selects how many sub-slots each mode receives per
+// period in a non-uniform layout.
+type SubSlotCounts = layout.Counts
+
+// PeriodLayout is an as-built non-uniform period layout.
+type PeriodLayout = layout.Layout
+
+// SolveLayout sizes a non-uniform multi-quantum layout at a fixed
+// period: modes with tight deadlines can recur several times per period
+// while others pay their switch overhead once — strictly more
+// expressive than any single common period.
+func SolveLayout(pr Problem, p float64, counts SubSlotCounts) (PeriodLayout, error) {
+	return layout.Solve(pr, p, counts)
+}
+
+// SimulateLayout runs a non-uniform layout on the modelled platform.
+func SimulateLayout(l PeriodLayout, tasks TaskSet, alg Alg, opts SimOptions) (*SimResult, error) {
+	usable, overhead := l.Windows()
+	s, err := sim.NewWindows(l.P, usable, overhead, tasks, alg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(opts)
+}
