@@ -2,6 +2,9 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/analysis"
@@ -18,18 +21,53 @@ import (
 // DESIGN.md. Key reproduced values are attached as custom metrics so
 // `go test -bench` output doubles as the experiment record.
 
-// BenchmarkFigure4SweepEDF regenerates the EDF curve of Figure 4.
+// naiveExplore reproduces the pre-compilation sweep: one naive
+// Problem.LHS evaluation (hyperperiods, point sets and demand bounds
+// rebuilt from scratch) per sample. It is the ablation baseline the
+// compiled sub-benchmarks are measured against.
+func naiveExplore(pr Problem, pMax float64, samples int) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, samples)
+	step := pMax / float64(samples)
+	for i := 1; i <= samples; i++ {
+		p := float64(i) * step
+		lhs, err := pr.LHS(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{P: p, LHS: lhs})
+	}
+	return out, nil
+}
+
+// BenchmarkFigure4SweepEDF regenerates the EDF curve of Figure 4,
+// comparing the naive per-sample evaluation against the compiled-profile
+// path (which includes the one-time compilation in every iteration).
 func BenchmarkFigure4SweepEDF(b *testing.B) {
 	pr := PaperProblem(EDF)
-	for i := 0; i < b.N; i++ {
-		pts, err := Explore(pr, ExploreOptions{PMax: 3.5, Samples: 350})
-		if err != nil {
-			b.Fatal(err)
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pts, err := naiveExplore(pr, 3.5, 350)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(pts) != 350 {
+				b.Fatal("short sweep")
+			}
 		}
-		if len(pts) != 350 {
-			b.Fatal("short sweep")
+	})
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pts, err := Explore(pr, ExploreOptions{PMax: 3.5, Samples: 350})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(pts) != 350 {
+				b.Fatal("short sweep")
+			}
 		}
-	}
+	})
 }
 
 // BenchmarkFigure4SweepRM regenerates the RM curve of Figure 4.
@@ -101,16 +139,32 @@ func BenchmarkTable2MaxSlack(b *testing.B) {
 }
 
 // BenchmarkMinQ measures the core primitive for both algorithms on the
-// paper's FT channel.
+// paper's FT channel: the naive oracle (rebuilds points and demand
+// bounds per call) against the compiled profile (steady-state,
+// allocation-free).
 func BenchmarkMinQ(b *testing.B) {
 	s := task.PaperTaskSet().ByMode(task.FT)
 	for _, alg := range []Alg{RM, EDF} {
-		b.Run(alg.String(), func(b *testing.B) {
+		b.Run(alg.String()+"/naive", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := analysis.MinQ(s, alg, 2.0); err != nil {
 					b.Fatal(err)
 				}
 			}
+		})
+		b.Run(alg.String()+"/compiled", func(b *testing.B) {
+			pf, err := analysis.Compile(s, alg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += pf.MinQ(2.0)
+			}
+			_ = sink
 		})
 	}
 }
@@ -277,18 +331,72 @@ func BenchmarkAblationSubSlots(b *testing.B) {
 }
 
 // BenchmarkSweepParallel compares the sequential Figure 4 sweep against
-// the worker-pool version on a dense grid.
+// the worker-pool version on a dense grid, each on both the naive and
+// the compiled path. The naive parallel baseline reproduces the
+// pre-compilation worker pool: per-sample Problem.LHS behind an atomic
+// work counter.
 func BenchmarkSweepParallel(b *testing.B) {
 	pr := PaperProblem(EDF)
 	opts := ExploreOptions{PMax: 3.5, Samples: 2048}
-	b.Run("sequential", func(b *testing.B) {
+	naiveParallel := func() error {
+		out := make([]SweepPoint, opts.Samples)
+		errs := make([]error, runtime.GOMAXPROCS(0))
+		step := opts.PMax / float64(opts.Samples)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < len(errs); w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= opts.Samples {
+						return
+					}
+					p := float64(i+1) * step
+					lhs, err := pr.LHS(p)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					out[i] = SweepPoint{P: p, LHS: lhs}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	b.Run("sequential/naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := naiveExplore(pr, opts.PMax, opts.Samples); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential/compiled", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := Explore(pr, opts); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
-	b.Run("parallel", func(b *testing.B) {
+	b.Run("parallel/naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := naiveParallel(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel/compiled", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := ExploreParallel(pr, opts, 0); err != nil {
 				b.Fatal(err)

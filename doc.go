@@ -17,6 +17,11 @@
 //     points, Theorems 1–2, minQ (Eqs. 6 and 11), supply functions
 //     (Lemma 1 exact form, linear bound, periodic-resource comparison);
 //   - internal/core: the paper's integration conditions (Eqs. 12–15);
+//     Problem.Compile caches per-channel demand profiles
+//     (analysis.Profile) — the P-independent half of Eq. (15) — so
+//     repeated LHS evaluations run allocation-free; every search below
+//     uses this compiled path, with the naive methods kept as the
+//     reference oracle;
 //   - internal/region, internal/design: Figure 4 exploration and the
 //     two design goals of Table 2;
 //   - internal/partition, internal/workload: automatic channel

@@ -7,6 +7,12 @@
 //     bounded-delay supply (α, Δ);
 //   - the inversion of those theorems into the minimum slot length
 //     minQ(T, alg, P) of Eq. (6) (FP) and Eq. (11) (EDF);
+//   - Profile, a compiled form of minQ: Compile separates the
+//     P-independent demand structure (scheduling points and their
+//     demand values, with pairs that can never decide the result pruned
+//     away) from the P-dependent quantum inversion, so design-space
+//     sweeps evaluate Profile.MinQ in a tight allocation-free loop while
+//     MinQ remains the straightforward reference oracle;
 //   - classical full-processor tests (response-time analysis, processor
 //     demand criterion, Liu–Layland and hyperbolic utilisation bounds)
 //     used by the automatic partitioner.
@@ -180,7 +186,11 @@ func FeasibleEDF(s task.Set, sp Supply) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	for _, t := range points.Deadlines(s, h) {
+	dls, err := points.Deadlines(s, h)
+	if err != nil {
+		return false, err
+	}
+	for _, t := range dls {
 		if sp.Delta > t-DemandBound(s, t)/sp.Alpha+feasTol {
 			return false, nil
 		}
@@ -262,8 +272,12 @@ func minQEDF(s task.Set, p float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	dls, err := points.Deadlines(s, h)
+	if err != nil {
+		return 0, err
+	}
 	q := 0.0
-	for _, t := range points.Deadlines(s, h) {
+	for _, t := range dls {
 		if v := qNeeded(t, p, DemandBound(s, t)); v > q {
 			q = v
 		}

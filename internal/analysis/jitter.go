@@ -55,7 +55,7 @@ func DemandBoundJitter(s task.Set, j Jitter, t float64) float64 {
 
 // jitterDeadlines returns the points where W_J changes: the nominal
 // deadlines shifted left by each task's jitter, up to the horizon.
-func jitterDeadlines(s task.Set, j Jitter, horizon float64) []float64 {
+func jitterDeadlines(s task.Set, j Jitter, horizon float64) ([]float64, error) {
 	shifted := make(task.Set, len(s))
 	for i, tk := range s {
 		tk.D -= j[tk.Name] // points where ⌊(t+J+T−D)/T⌋ steps
@@ -93,7 +93,11 @@ func FeasibleEDFJitter(s task.Set, j Jitter, sp Supply) (bool, error) {
 			maxJ = v
 		}
 	}
-	for _, t := range jitterDeadlines(s, j, h+maxJ) {
+	dls, err := jitterDeadlines(s, j, h+maxJ)
+	if err != nil {
+		return false, err
+	}
+	for _, t := range dls {
 		if sp.Delta > t-DemandBoundJitter(s, j, t)/sp.Alpha+feasTol {
 			return false, nil
 		}
@@ -123,8 +127,12 @@ func MinQEDFJitter(s task.Set, j Jitter, p float64) (float64, error) {
 			maxJ = v
 		}
 	}
+	dls, err := jitterDeadlines(s, j, h+maxJ)
+	if err != nil {
+		return 0, err
+	}
 	q := 0.0
-	for _, t := range jitterDeadlines(s, j, h+maxJ) {
+	for _, t := range dls {
 		if v := qNeeded(t, p, DemandBoundJitter(s, j, t)); v > q {
 			q = v
 		}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/points"
+	"repro/internal/task"
+)
+
+// This file implements the compiled-analysis layer. The design-space
+// searches of internal/region evaluate minQ(T, alg, P) for the same task
+// set at thousands of periods P, yet everything except the final quantum
+// inversion — the hyperperiod, the scheduling-point sets and the demand
+// values W(t) — is independent of P. Compile hoists all of that work out
+// of the loop once, and Profile.MinQ performs only the P-dependent part:
+// a flat scan of precompiled (t, W(t)) pairs through qNeeded, with zero
+// allocations, no maps, no sorting and no recursion.
+//
+// On top of hoisting, Compile prunes pairs that can never decide the
+// result. Fix two pairs i and j and consider the curves Q(P) =
+// qNeeded(t, P, w). Two such curves cross at most once on P > 0:
+// subtracting their defining quadratics Q² + (t−P)Q − PW = 0 gives
+// (t_i−t_j)·Q = P·(w_i−w_j), a ray through the origin whose intersection
+// with either quadratic has at most one positive root. The curves'
+// order at the two extremes is closed form —
+//
+//	P → 0⁺: qNeeded(t, P, w) ≈ P·w/t      (ranked by w/t)
+//	P → ∞ : qNeeded(t, P, w) → P − t + w   (ranked by w − t)
+//
+// — so if pair i ranks at least as high as pair j at both extremes, the
+// single-crossing property forbids the order from flipping in between,
+// and qNeeded(t_i, P, w_i) ≥ qNeeded(t_j, P, w_j) for every P > 0. Pair
+// j is then dominated: it can never be the maximum of Eq. (11) (and,
+// with the inequalities reversed, never the minimum of a task's inner
+// search in Eq. (6)), so MinQ need not evaluate it. Dominance is only
+// applied with a relative margin of pruneMargin on both rankings, so a
+// pair whose curve hugs its dominator's within floating-point noise is
+// kept and the pruned scan returns bit-identical results to the naive
+// oracle MinQ.
+
+// pruneMargin is the relative margin required on both dominance
+// rankings before a (t, W(t)) pair is discarded. It is far above
+// float64 rounding noise (~1e-16) yet small enough that essentially
+// every off-envelope pair is still pruned.
+const pruneMargin = 1e-9
+
+// pair is one precompiled scheduling point: the time t and the demand
+// (EDF, Eq. 9) or request bound (FP, Eq. 5) w at t.
+type pair struct {
+	t, w float64
+}
+
+// Profile is a task set's demand structure compiled for one scheduling
+// algorithm: everything minQ needs that does not depend on the period P.
+// A Profile is immutable after Compile and safe for concurrent use.
+type Profile struct {
+	alg Alg
+	// edf holds the surviving (t, W(t)) pairs of Eq. (11), ascending in
+	// t. Used when alg == EDF.
+	edf []pair
+	// fp holds, per task in priority order, the surviving
+	// (t, W_i(t)) pairs of that task's scheduling-point search in
+	// Eq. (6), ascending in t. Used when alg is RM or DM.
+	fp [][]pair
+}
+
+// Compile builds the profile of s under alg. It performs all the
+// P-independent work of MinQ — hyperperiods, scheduling-point sets,
+// demand evaluation and dominance pruning — exactly once. An empty set
+// compiles to a profile whose MinQ is identically zero.
+func Compile(s task.Set, alg Alg) (*Profile, error) {
+	pf := &Profile{alg: alg}
+	if len(s) == 0 {
+		return pf, nil
+	}
+	switch alg {
+	case EDF:
+		h, err := s.Hyperperiod(HyperperiodDenominator)
+		if err != nil {
+			return nil, err
+		}
+		dls, err := points.Deadlines(s, h)
+		if err != nil {
+			return nil, err
+		}
+		all := make([]pair, len(dls))
+		for i, t := range dls {
+			all[i] = pair{t: t, w: DemandBound(s, t)}
+		}
+		pf.edf = envelope(all, false)
+	case RM, DM:
+		ordered := alg.sorted(s)
+		pf.fp = make([][]pair, len(ordered))
+		for i, tk := range ordered {
+			pts := points.FixedPriority(ordered[:i], tk.D)
+			all := make([]pair, len(pts))
+			for k, t := range pts {
+				all[k] = pair{t: t, w: RequestBound(tk.C, ordered[:i], t)}
+			}
+			pf.fp[i] = envelope(all, true)
+		}
+	default:
+		return nil, fmt.Errorf("analysis: Compile: unknown algorithm %s", alg)
+	}
+	return pf, nil
+}
+
+// Alg returns the algorithm the profile was compiled for.
+func (pf *Profile) Alg() Alg { return pf.alg }
+
+// Pairs returns the total number of (t, w) pairs retained after
+// pruning — the work MinQ performs per call.
+func (pf *Profile) Pairs() int {
+	n := len(pf.edf)
+	for _, pts := range pf.fp {
+		n += len(pts)
+	}
+	return n
+}
+
+// MinQ computes minQ(T, alg, P) from the compiled profile: the same
+// value the reference MinQ(s, alg, p) returns, bit for bit, but as a
+// single pass over the precompiled pairs with zero allocations. p must
+// be positive (as validated by the naive MinQ); MinQ returns 0 for
+// non-positive p.
+func (pf *Profile) MinQ(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if pf.alg == EDF {
+		q := 0.0
+		for _, pr := range pf.edf {
+			if v := qNeeded(pr.t, p, pr.w); v > q {
+				q = v
+			}
+		}
+		return q
+	}
+	q := 0.0
+	for _, pts := range pf.fp {
+		best := math.Inf(1)
+		for _, pr := range pts {
+			if v := qNeeded(pr.t, p, pr.w); v < best {
+				best = v
+			}
+		}
+		if best > q {
+			q = best
+		}
+	}
+	return q
+}
+
+// envelope removes the pairs that are dominated for every P > 0 (see
+// the file comment for the argument). With min = false it keeps the
+// candidates for the maximum of qNeeded over the pairs (EDF, Eq. 11);
+// with min = true, the candidates for the minimum (the inner search of
+// FP's Eq. 6). The retained pairs are returned ascending in t.
+func envelope(all []pair, min bool) []pair {
+	if len(all) <= 1 {
+		return all
+	}
+	sign := 1.0
+	if min {
+		sign = -1
+	}
+	// rank0 orders the curves as P → 0⁺, rankInf as P → ∞; the sign
+	// flip turns the min-envelope into the max-envelope of −qNeeded.
+	type key struct {
+		rank0, rankInf float64
+		p              pair
+	}
+	ks := make([]key, len(all))
+	for i, pr := range all {
+		ks[i] = key{rank0: sign * pr.w / pr.t, rankInf: sign * (pr.w - pr.t), p: pr}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].rank0 > ks[j].rank0 })
+	margin := func(v float64) float64 { return pruneMargin * (1 + math.Abs(v)) }
+	kept := all[:0]
+	bestInf := math.Inf(-1)
+	lead := 0
+	for j := range ks {
+		// Fold into bestInf every curve that beats ks[j] at P → 0⁺ by a
+		// clear margin; those are the admissible dominators of ks[j].
+		for lead < j && ks[lead].rank0 >= ks[j].rank0+margin(ks[j].rank0) {
+			if ks[lead].rankInf > bestInf {
+				bestInf = ks[lead].rankInf
+			}
+			lead++
+		}
+		if bestInf >= ks[j].rankInf+margin(ks[j].rankInf) {
+			continue // dominated at both extremes: below for every P
+		}
+		kept = append(kept, ks[j].p)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].t < kept[j].t })
+	return kept
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// profileTol is the satellite acceptance tolerance: the compiled
+// Profile.MinQ must match the naive oracle MinQ to within 1e-12. The
+// tests below additionally count bit-level mismatches, because the
+// design goal is exact agreement (the pruning margin keeps every pair
+// whose curve comes within floating-point noise of the envelope).
+const profileTol = 1e-12
+
+func pGrid(pMax float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = pMax * float64(i+1) / float64(n)
+	}
+	return out
+}
+
+func assertProfileMatchesMinQ(t *testing.T, s task.Set, alg Alg, ps []float64) {
+	t.Helper()
+	pf, err := Compile(s, alg)
+	if err != nil {
+		t.Fatalf("%s: Compile: %v", alg, err)
+	}
+	for _, p := range ps {
+		want, err := MinQ(s, alg, p)
+		if err != nil {
+			t.Fatalf("%s: MinQ(%g): %v", alg, p, err)
+		}
+		got := pf.MinQ(p)
+		if math.Abs(got-want) > profileTol {
+			t.Fatalf("%s: Profile.MinQ(%g) = %g, naive MinQ = %g (Δ = %g)",
+				alg, p, got, want, got-want)
+		}
+		if got != want {
+			t.Errorf("%s: Profile.MinQ(%g) = %x, naive = %x: within tolerance but not bit-identical",
+				alg, p, got, want)
+		}
+	}
+}
+
+func TestProfileMatchesMinQPaperChannels(t *testing.T) {
+	s := task.PaperTaskSet()
+	ps := pGrid(6.0, 500)
+	for _, alg := range []Alg{RM, DM, EDF} {
+		for _, m := range task.Modes() {
+			for _, ch := range s.Channels(m) {
+				assertProfileMatchesMinQ(t, ch, alg, ps)
+			}
+		}
+	}
+}
+
+func TestProfileMatchesMinQRandomWorkloads(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		cfg := workload.Config{
+			N:                    10,
+			TotalUtilization:     2.5,
+			ConstrainedDeadlines: seed%2 == 0,
+			Seed:                 seed,
+		}
+		s, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ps := pGrid(8.0, 200)
+		for _, alg := range []Alg{RM, DM, EDF} {
+			for _, m := range task.Modes() {
+				for _, ch := range s.Channels(m) {
+					assertProfileMatchesMinQ(t, ch, alg, ps)
+				}
+			}
+		}
+	}
+}
+
+func TestProfileEmptySet(t *testing.T) {
+	for _, alg := range []Alg{RM, DM, EDF} {
+		pf, err := Compile(nil, alg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if got := pf.MinQ(2.0); got != 0 {
+			t.Errorf("%s: empty profile MinQ = %g, want 0", alg, got)
+		}
+		if pf.Pairs() != 0 {
+			t.Errorf("%s: empty profile has %d pairs", alg, pf.Pairs())
+		}
+	}
+}
+
+func TestProfileRejectsUnknownAlg(t *testing.T) {
+	if _, err := Compile(task.PaperTaskSet().ByMode(task.FT), Alg(99)); err == nil {
+		t.Error("Compile with unknown algorithm: want error, got none")
+	}
+}
+
+func TestProfileRejectsNonPositivePeriodTask(t *testing.T) {
+	s := task.Set{{Name: "bad", C: 1, T: 0, D: 3}}
+	if _, err := Compile(s, EDF); err == nil {
+		t.Error("Compile with T = 0 task: want error, got none")
+	}
+}
+
+func TestProfileMinQNonPositivePeriod(t *testing.T) {
+	pf, err := Compile(task.PaperTaskSet().ByMode(task.FT), EDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pf.MinQ(0); got != 0 {
+		t.Errorf("MinQ(0) = %g, want 0", got)
+	}
+	if got := pf.MinQ(-1); got != 0 {
+		t.Errorf("MinQ(-1) = %g, want 0", got)
+	}
+}
+
+// TestProfileMinQZeroAllocs is the steady-state allocation guarantee of
+// the compiled layer: evaluating MinQ must not allocate at all.
+func TestProfileMinQZeroAllocs(t *testing.T) {
+	s := task.PaperTaskSet().ByMode(task.FT)
+	for _, alg := range []Alg{RM, DM, EDF} {
+		pf, err := Compile(s, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sink float64
+		allocs := testing.AllocsPerRun(200, func() {
+			sink += pf.MinQ(1.7)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Profile.MinQ allocates %.1f/op, want 0", alg, allocs)
+		}
+		_ = sink
+	}
+}
+
+// TestProfilePruning checks that the dominance pruning actually removes
+// pairs on a workload with a long hyperperiod — the whole point of the
+// envelope — while TestProfileMatchesMinQ* above guarantees it never
+// changes the result.
+func TestProfilePruning(t *testing.T) {
+	s := task.PaperTaskSet().ByMode(task.FS) // periods 8, 10, 40: hyperperiod 40
+	pf, err := Compile(s, EDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Hyperperiod(HyperperiodDenominator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 0
+	for _, tk := range s {
+		full += int(h / tk.T) // deadline count upper bound per task
+	}
+	if pf.Pairs() >= full {
+		t.Errorf("EDF profile retained %d pairs, expected pruning below the %d raw deadlines", pf.Pairs(), full)
+	}
+}

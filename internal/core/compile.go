@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/task"
+)
+
+// CompiledProblem is a Problem whose per-channel demand profiles have
+// been compiled once (see analysis.Compile), so that the quantities the
+// design-space searches evaluate thousands of times — MinQuanta, LHS and
+// FeasiblePeriod — become tight allocation-free loops over precompiled
+// (t, W(t)) pairs. The results are bit-identical to the naive methods on
+// Problem, which remain as the reference oracle.
+//
+// A CompiledProblem is immutable after Compile and safe for concurrent
+// use; region.SweepParallel shares one instance across its workers.
+type CompiledProblem struct {
+	pr Problem
+	// profiles holds one compiled profile per channel of each mode, in
+	// the same channel order Problem.MinQuanta iterates (empty channels
+	// compile to profiles whose MinQ is identically zero).
+	profiles [task.NumModes][]*analysis.Profile
+}
+
+// Compile compiles every channel of every mode. The P-independent work
+// (hyperperiods, scheduling points, demand bounds, dominance pruning)
+// happens here, exactly once per channel.
+func (pr Problem) Compile() (*CompiledProblem, error) {
+	cp := &CompiledProblem{pr: Problem{
+		Tasks: append(task.Set(nil), pr.Tasks...),
+		Alg:   pr.Alg,
+		O:     pr.O,
+	}}
+	for _, m := range task.Modes() {
+		chans := pr.Tasks.Channels(m)
+		cp.profiles[m] = make([]*analysis.Profile, len(chans))
+		for i, ch := range chans {
+			prof, err := analysis.Compile(ch, pr.Alg)
+			if err != nil {
+				return nil, fmt.Errorf("core: compile mode %s channel %d: %w", m, i, err)
+			}
+			cp.profiles[m][i] = prof
+		}
+	}
+	return cp, nil
+}
+
+// Problem returns the compiled problem's definition. The returned value
+// shares the compiled task slice; treat it as read-only.
+func (cp *CompiledProblem) Problem() Problem { return cp.pr }
+
+// ChannelProfiles returns the compiled profile of every channel of mode
+// m, in channel order. The slice is a copy (callers such as
+// online.Manager maintain their own mutable cache seeded from it); the
+// profiles themselves are immutable and shared.
+func (cp *CompiledProblem) ChannelProfiles(m task.Mode) []*analysis.Profile {
+	return append([]*analysis.Profile(nil), cp.profiles[m]...)
+}
+
+// MinQuanta is Problem.MinQuanta served from the compiled profiles:
+// for each mode k, max_i minQ(T_k^i, alg, P) — the right-hand sides of
+// Eqs. (12), (13) and (14). It allocates nothing.
+func (cp *CompiledProblem) MinQuanta(p float64) PerMode {
+	var out PerMode
+	for _, m := range task.Modes() {
+		worst := 0.0
+		for _, prof := range cp.profiles[m] {
+			if q := prof.MinQ(p); q > worst {
+				worst = q
+			}
+		}
+		out = out.With(m, worst)
+	}
+	return out
+}
+
+// LHS evaluates the left-hand side of Eq. (15) from the compiled
+// profiles: P − Σ_k max_i minQ(T_k^i, alg, P). p must be positive.
+func (cp *CompiledProblem) LHS(p float64) float64 {
+	q := cp.MinQuanta(p)
+	return p - q.Total()
+}
+
+// FeasiblePeriod reports whether Eq. (15) holds at period P.
+func (cp *CompiledProblem) FeasiblePeriod(p float64) bool {
+	return cp.LHS(p) >= cp.pr.O.Total()
+}
+
+// ConfigFor builds the configuration that allocates to every mode
+// exactly its minimum quantum (plus overhead) at period P, leaving the
+// remaining bandwidth as trailing slack. It errors if P is infeasible.
+// It is Problem.ConfigFor served from the compiled profiles.
+func (cp *CompiledProblem) ConfigFor(p float64) (Config, error) {
+	if p <= 0 {
+		return Config{}, fmt.Errorf("core: period P = %g must be positive", p)
+	}
+	quanta := cp.MinQuanta(p)
+	cfg := Config{
+		P: p,
+		Q: PerMode{
+			FT: quanta.FT + cp.pr.O.FT,
+			FS: quanta.FS + cp.pr.O.FS,
+			NF: quanta.NF + cp.pr.O.NF,
+		},
+		O: cp.pr.O,
+	}
+	if cfg.Q.Total() > p+1e-9 {
+		return Config{}, fmt.Errorf("core: period %g infeasible: slots need %g", p, cfg.Q.Total())
+	}
+	return cfg, nil
+}

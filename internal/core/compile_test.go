@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func compileGrid(pMax float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = pMax * float64(i+1) / float64(n)
+	}
+	return out
+}
+
+// TestCompiledLHSBitIdentical is the core acceptance property of the
+// compiled layer: CompiledProblem.LHS and .MinQuanta must reproduce the
+// naive Problem methods bit for bit, so every consumer rewired onto the
+// compiled path produces byte-identical results.
+func TestCompiledLHSBitIdentical(t *testing.T) {
+	problems := []Problem{
+		{Tasks: task.PaperTaskSet(), Alg: analysis.EDF, O: UniformOverheads(0.05)},
+		{Tasks: task.PaperTaskSet(), Alg: analysis.RM, O: UniformOverheads(0.05)},
+		{Tasks: task.PaperTaskSet(), Alg: analysis.DM, O: UniformOverheads(0.05)},
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		s, err := workload.Generate(workload.Config{N: 12, TotalUtilization: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		problems = append(problems, Problem{Tasks: s, Alg: analysis.EDF, O: UniformOverheads(0.02)})
+		problems = append(problems, Problem{Tasks: s, Alg: analysis.RM, O: UniformOverheads(0.02)})
+	}
+	for _, pr := range problems {
+		cp, err := pr.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range compileGrid(7.0, 300) {
+			wantQ, err := pr.MinQuanta(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotQ := cp.MinQuanta(p); gotQ != wantQ {
+				t.Fatalf("%s P=%g: compiled MinQuanta %+v, naive %+v", pr.Alg, p, gotQ, wantQ)
+			}
+			wantLHS, err := pr.LHS(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotLHS := cp.LHS(p); gotLHS != wantLHS {
+				t.Fatalf("%s P=%g: compiled LHS %x, naive %x", pr.Alg, p, gotLHS, wantLHS)
+			}
+			wantOK, err := pr.FeasiblePeriod(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotOK := cp.FeasiblePeriod(p); gotOK != wantOK {
+				t.Fatalf("%s P=%g: compiled FeasiblePeriod %v, naive %v", pr.Alg, p, gotOK, wantOK)
+			}
+		}
+	}
+}
+
+func TestCompiledConfigForMatchesNaive(t *testing.T) {
+	pr := Problem{Tasks: task.PaperTaskSet(), Alg: analysis.EDF, O: UniformOverheads(0.05)}
+	cp, err := pr.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range compileGrid(3.0, 60) {
+		want, wantErr := pr.ConfigFor(p)
+		got, gotErr := cp.ConfigFor(p)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("P=%g: error mismatch: naive %v, compiled %v", p, wantErr, gotErr)
+		}
+		if wantErr == nil && got != want {
+			t.Fatalf("P=%g: compiled config %+v, naive %+v", p, got, want)
+		}
+	}
+	if _, err := cp.ConfigFor(0); err == nil {
+		t.Error("ConfigFor(0): want error, got none")
+	}
+}
+
+// TestCompiledLHSZeroAllocs verifies the sweep inner loop allocates
+// nothing once the problem is compiled.
+func TestCompiledLHSZeroAllocs(t *testing.T) {
+	pr := Problem{Tasks: task.PaperTaskSet(), Alg: analysis.EDF, O: UniformOverheads(0.05)}
+	cp, err := pr.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink float64
+	allocs := testing.AllocsPerRun(200, func() {
+		sink += cp.LHS(1.9)
+	})
+	if allocs != 0 {
+		t.Errorf("CompiledProblem.LHS allocates %.1f/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestCompileRejectsBadTask(t *testing.T) {
+	pr := Problem{
+		Tasks: task.Set{{Name: "bad", C: 1, T: 0, D: 3, Mode: task.FT}},
+		Alg:   analysis.EDF,
+		O:     UniformOverheads(0.05),
+	}
+	if _, err := pr.Compile(); err == nil {
+		t.Error("Compile with T = 0 task: want error, got none")
+	}
+}

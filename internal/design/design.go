@@ -77,31 +77,56 @@ type Solution struct {
 }
 
 // Solve computes the solution for the given goal. Pass a zero Options
-// for the defaults (search bound derived from the task set).
+// for the defaults (search bound derived from the task set). The
+// problem's demand profiles are compiled once and shared by the period
+// search and the final slot sizing.
 func Solve(pr core.Problem, goal Goal, opts region.Options) (Solution, error) {
 	if err := pr.Validate(); err != nil {
 		return Solution{}, err
 	}
+	cp, err := pr.Compile()
+	if err != nil {
+		return Solution{}, err
+	}
+	return solveCompiled(cp, goal, opts)
+}
+
+// solveCompiled runs the period search and slot sizing for one goal on
+// an already-compiled problem.
+func solveCompiled(cp *core.CompiledProblem, goal Goal, opts region.Options) (Solution, error) {
 	var p float64
 	var err error
 	switch goal {
 	case MinOverheadBandwidth:
-		p, err = region.MaxFeasiblePeriod(pr, opts)
+		p, err = region.MaxFeasiblePeriodCompiled(cp, opts)
 	case MaxFlexibility:
-		p, _, err = region.MaxSlackBandwidth(pr, opts)
+		p, _, err = region.MaxSlackBandwidthCompiled(cp, opts)
 	default:
 		return Solution{}, fmt.Errorf("design: unknown goal %d", int(goal))
 	}
 	if err != nil {
 		return Solution{}, err
 	}
-	return At(pr, goal, p)
+	return atCompiled(cp, goal, p)
 }
 
 // At builds the full solution at an explicit period (used to reproduce
-// the paper's tables at their exact printed periods, and by Solve).
+// the paper's tables at their exact printed periods).
 func At(pr core.Problem, goal Goal, p float64) (Solution, error) {
-	cfg, err := pr.ConfigFor(p)
+	cp, err := pr.Compile()
+	if err != nil {
+		return Solution{}, err
+	}
+	return atCompiled(cp, goal, p)
+}
+
+// atCompiled sizes the slots at period p from the compiled profiles and
+// re-verifies the result against the original theorems (Verify stays on
+// the naive path deliberately: it is the independent check that the
+// compiled inversion produced a correct configuration).
+func atCompiled(cp *core.CompiledProblem, goal Goal, p float64) (Solution, error) {
+	pr := cp.Problem()
+	cfg, err := cp.ConfigFor(p)
 	if err != nil {
 		return Solution{}, err
 	}
@@ -126,13 +151,20 @@ func At(pr core.Problem, goal Goal, p float64) (Solution, error) {
 }
 
 // Both solves the two goals of Section 4 side by side — rows (b) and (c)
-// of Table 2.
+// of Table 2. The problem is compiled once and shared by both solves.
 func Both(pr core.Problem, opts region.Options) (maxPeriod, maxSlack Solution, err error) {
-	maxPeriod, err = Solve(pr, MinOverheadBandwidth, opts)
+	if err := pr.Validate(); err != nil {
+		return Solution{}, Solution{}, err
+	}
+	cp, err := pr.Compile()
 	if err != nil {
 		return Solution{}, Solution{}, err
 	}
-	maxSlack, err = Solve(pr, MaxFlexibility, opts)
+	maxPeriod, err = solveCompiled(cp, MinOverheadBandwidth, opts)
+	if err != nil {
+		return Solution{}, Solution{}, err
+	}
+	maxSlack, err = solveCompiled(cp, MaxFlexibility, opts)
 	if err != nil {
 		return Solution{}, Solution{}, err
 	}

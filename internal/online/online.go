@@ -34,6 +34,11 @@ type Manager struct {
 	over  core.Overheads
 	tasks task.Set
 	cfg   core.Config
+	// profiles caches one compiled demand profile (analysis.Profile) per
+	// channel of each mode. An admit or remove touches exactly one
+	// channel, so only that channel is recompiled; the quanta of all
+	// other channels are re-evaluated allocation-free from the cache.
+	profiles [task.NumModes][]*analysis.Profile
 }
 
 // NewManager starts from a verified problem/configuration pair, e.g. a
@@ -45,12 +50,20 @@ func NewManager(pr core.Problem, cfg core.Config) (*Manager, error) {
 	if err := pr.Verify(cfg); err != nil {
 		return nil, fmt.Errorf("online: initial configuration rejected: %w", err)
 	}
-	return &Manager{
+	cp, err := pr.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("online: %w", err)
+	}
+	m := &Manager{
 		alg:   pr.Alg,
 		over:  pr.O,
 		tasks: append(task.Set(nil), pr.Tasks...),
 		cfg:   cfg,
-	}, nil
+	}
+	for _, mode := range task.Modes() {
+		m.profiles[mode] = cp.ChannelProfiles(mode)
+	}
+	return m, nil
 }
 
 // Config returns the current configuration.
@@ -92,7 +105,7 @@ func (m *Manager) Admit(t task.Task) error {
 		return fmt.Errorf("%w: task %q already admitted", ErrRejected, t.Name)
 	}
 	candidate := append(append(task.Set(nil), m.tasks...), t)
-	return m.reshape(candidate, t.Mode)
+	return m.reshape(candidate, t.Mode, t.Channel)
 }
 
 // Remove releases a task and shrinks its mode's slot back to the new
@@ -110,24 +123,29 @@ func (m *Manager) Remove(name string) error {
 	if idx < 0 {
 		return fmt.Errorf("online: no task %q", name)
 	}
-	mode := m.tasks[idx].Mode
+	mode, channel := m.tasks[idx].Mode, m.tasks[idx].Channel
 	candidate := append(append(task.Set(nil), m.tasks[:idx]...), m.tasks[idx+1:]...)
-	if err := m.reshape(candidate, mode); err != nil {
+	if err := m.reshape(candidate, mode, channel); err != nil {
 		return err // cannot happen: shrinking always fits; defensive
 	}
 	return nil
 }
 
 // reshape recomputes the quantum of the affected mode for the candidate
-// set at the fixed period and applies it if it fits. Caller holds mu.
-func (m *Manager) reshape(candidate task.Set, mode task.Mode) error {
+// set at the fixed period and applies it if it fits. Only the channel
+// that actually changed is recompiled; the other channels of the mode
+// are served from the profile cache. Caller holds mu.
+func (m *Manager) reshape(candidate task.Set, mode task.Mode, channel int) error {
+	fresh, err := analysis.Compile(candidate.ByChannel(mode, channel), m.alg)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrRejected, err)
+	}
 	worst := 0.0
-	for _, ch := range candidate.Channels(mode) {
-		q, err := analysis.MinQ(ch, m.alg, m.cfg.P)
-		if err != nil {
-			return fmt.Errorf("%w: %v", ErrRejected, err)
+	for i, prof := range m.profiles[mode] {
+		if i == channel {
+			prof = fresh
 		}
-		if q > worst {
+		if q := prof.MinQ(m.cfg.P); q > worst {
 			worst = q
 		}
 	}
@@ -139,12 +157,14 @@ func (m *Manager) reshape(candidate task.Set, mode task.Mode) error {
 			ErrRejected, mode, newSlot, m.cfg.Slack()+m.cfg.Q.Of(mode))
 	}
 	// Double-check the whole system before switching (defence in depth —
-	// reshape only touched one mode, but Verify is cheap).
+	// reshape only touched one mode, and Verify independently re-checks
+	// the original theorems rather than the compiled inversion).
 	pr := core.Problem{Tasks: candidate, Alg: m.alg, O: m.over}
 	if err := pr.Verify(next); err != nil {
 		return fmt.Errorf("%w: %v", ErrRejected, err)
 	}
 	m.tasks = candidate
 	m.cfg = next
+	m.profiles[mode][channel] = fresh
 	return nil
 }

@@ -1,0 +1,80 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/task"
+)
+
+// TestProfileCacheTracksTasks drives a churn of admissions and removals
+// and checks after every reconfiguration that each cached channel
+// profile agrees with a naive MinQ recomputation from the manager's own
+// task list — i.e. that the incremental recompilation never lets the
+// cache drift from the admitted set.
+func TestProfileCacheTracksTasks(t *testing.T) {
+	m := maxFlexManager(t)
+	guests := []task.Task{
+		{Name: "g1", C: 0.2, T: 10, Mode: task.NF, Channel: 3},
+		{Name: "g2", C: 0.1, T: 8, Mode: task.FS, Channel: 1},
+		{Name: "g3", C: 0.15, T: 12, Mode: task.NF, Channel: 0},
+	}
+	check := func(stage string) {
+		t.Helper()
+		tasks := m.Tasks()
+		cfg := m.Config()
+		for _, mode := range task.Modes() {
+			for ch, sub := range tasks.Channels(mode) {
+				want, err := analysis.MinQ(sub, m.alg, cfg.P)
+				if err != nil {
+					t.Fatalf("%s: %v", stage, err)
+				}
+				got := m.profiles[mode][ch].MinQ(cfg.P)
+				if got != want {
+					t.Fatalf("%s: mode %s channel %d: cached profile MinQ = %g, naive = %g",
+						stage, mode, ch, got, want)
+				}
+			}
+		}
+	}
+	check("initial")
+	for _, g := range guests {
+		if err := m.Admit(g); err != nil {
+			t.Fatalf("admit %s: %v", g.Name, err)
+		}
+		check("after admit " + g.Name)
+	}
+	for _, g := range guests {
+		if err := m.Remove(g.Name); err != nil {
+			t.Fatalf("remove %s: %v", g.Name, err)
+		}
+		check("after remove " + g.Name)
+	}
+}
+
+// TestRejectedAdmitLeavesCacheUntouched verifies that a failed admission
+// neither changes the configuration nor poisons the profile cache.
+func TestRejectedAdmitLeavesCacheUntouched(t *testing.T) {
+	m := maxFlexManager(t)
+	before := m.Config()
+	// Far too heavy for the available slack.
+	if err := m.Admit(task.Task{Name: "whale", C: 5, T: 10, Mode: task.FT, Channel: 0}); err == nil {
+		t.Fatal("whale admission should fail")
+	}
+	if m.Config() != before {
+		t.Error("failed admission changed the configuration")
+	}
+	tasks := m.Tasks()
+	for _, mode := range task.Modes() {
+		for ch, sub := range tasks.Channels(mode) {
+			want, err := analysis.MinQ(sub, m.alg, before.P)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := m.profiles[mode][ch].MinQ(before.P); got != want {
+				t.Errorf("mode %s channel %d: cache drifted after rejected admit: %g vs %g",
+					mode, ch, got, want)
+			}
+		}
+	}
+}

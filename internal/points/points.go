@@ -6,11 +6,16 @@
 //     Theorem 1 and Eq. (6);
 //   - dlSet, the set of absolute deadlines up to the hyperperiod, used
 //     by the EDF condition of Theorem 2 and Eq. (11).
+//
+// Both sets are built iteratively over sorted slices (no hashing, no
+// recursion, no post-hoc sort), so the construction cost is linear in
+// the output size and the compiled-profile layer of internal/analysis
+// can rebuild them cheaply.
 package points
 
 import (
+	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/task"
 )
@@ -26,22 +31,56 @@ import (
 // restricted to points in (0, d]. The result is sorted ascending and
 // duplicate-free. schedP_i is the smallest set of points at which the
 // feasibility inequality must be checked for the task to be schedulable.
+//
+// Rather than recursing (which visits 2^|hp| leaves and dedups through a
+// map), the set is grown level by level: lifting P_j over a set S gives
+// P_j(S) = P_{j-1}(S ∪ ⌊S/T_j⌋·T_j), so each level is one merge of two
+// sorted slices — ⌊t/T_j⌋·T_j is monotone in t, so the floored image of
+// a sorted slice is already sorted. Periods in hp must be positive (the
+// task model guarantees this; see task.Task.Validate).
 func FixedPriority(hp task.Set, d float64) []float64 {
-	seen := make(map[float64]struct{})
-	var rec func(j int, t float64)
-	rec = func(j int, t float64) {
-		if t <= 0 {
-			return
-		}
-		if j == 0 {
-			seen[t] = struct{}{}
-			return
-		}
-		rec(j-1, math.Floor(t/hp[j-1].T)*hp[j-1].T)
-		rec(j-1, t)
+	if d <= 0 {
+		return nil
 	}
-	rec(len(hp), d)
-	return sortedKeys(seen)
+	pts := make([]float64, 1, 8)
+	pts[0] = d
+	var floors, merged []float64
+	for j := len(hp); j >= 1; j-- {
+		period := hp[j-1].T
+		floors = floors[:0]
+		for _, t := range pts {
+			if f := math.Floor(t/period) * period; f > 0 {
+				floors = append(floors, f)
+			}
+		}
+		pts, merged = mergeSortedUnique(pts, floors, merged[:0]), pts
+	}
+	return pts
+}
+
+// mergeSortedUnique merges two sorted ascending slices into dst,
+// dropping exact duplicates. dst must be empty (it is only passed in so
+// the caller can recycle its backing array).
+func mergeSortedUnique(a, b, dst []float64) []float64 {
+	if cap(dst) < len(a)+len(b) {
+		dst = make([]float64, 0, len(a)+len(b))
+	}
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v float64
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] <= b[j]):
+			v = a[i]
+			i++
+		default:
+			v = b[j]
+			j++
+		}
+		if n := len(dst); n == 0 || dst[n-1] != v {
+			dst = append(dst, v)
+		}
+	}
+	return dst
 }
 
 // Deadlines returns dlSet(T) restricted to (0, horizon]: every absolute
@@ -49,20 +88,66 @@ func FixedPriority(hp task.Set, d float64) []float64 {
 // arrival pattern (all first jobs released at time zero). The horizon is
 // normally the hyperperiod of the set. The result is sorted ascending
 // and duplicate-free.
-func Deadlines(s task.Set, horizon float64) []float64 {
-	seen := make(map[float64]struct{})
+//
+// Each task's deadline stream is already ascending, so the set is built
+// by a k-way merge of the streams instead of hashing and sorting. A task
+// with a non-positive period has a deadline stream that never advances;
+// such tasks are rejected here (they are also rejected at task.Set
+// construction by Validate, but Deadlines must not spin forever on
+// unvalidated input).
+func Deadlines(s task.Set, horizon float64) ([]float64, error) {
+	if len(s) == 0 {
+		return nil, nil
+	}
 	for _, t := range s {
-		for k := 0; ; k++ {
-			dl := float64(k)*t.T + t.D
+		if t.T <= 0 {
+			return nil, fmt.Errorf("points: task %s has non-positive period T = %g", t.Name, t.T)
+		}
+	}
+	// head[i] is task i's next unconsumed deadline in (0, horizon],
+	// +Inf once the stream is exhausted.
+	head := make([]float64, len(s))
+	kidx := make([]int, len(s))
+	exhausted := 0
+	advance := func(i int) {
+		t := s[i]
+		for {
+			dl := float64(kidx[i])*t.T + t.D
+			kidx[i]++
 			if dl > horizon {
-				break
+				head[i] = math.Inf(1)
+				exhausted++
+				return
 			}
 			if dl > 0 {
-				seen[dl] = struct{}{}
+				head[i] = dl
+				return
 			}
 		}
 	}
-	return sortedKeys(seen)
+	total := 0
+	for i, t := range s {
+		if t.D <= horizon {
+			total += int(math.Max(0, (horizon-t.D)/t.T)) + 1
+		}
+		advance(i)
+	}
+	out := make([]float64, 0, total)
+	for exhausted < len(s) {
+		next := math.Inf(1)
+		for _, h := range head {
+			if h < next {
+				next = h
+			}
+		}
+		out = append(out, next)
+		for i, h := range head {
+			if h == next {
+				advance(i)
+			}
+		}
+	}
+	return out, nil
 }
 
 // DenseGrid returns points {step, 2·step, …} up to and including horizon
@@ -81,14 +166,5 @@ func DenseGrid(horizon, step float64) []float64 {
 	if len(out) == 0 || out[len(out)-1] < horizon {
 		out = append(out, horizon)
 	}
-	return out
-}
-
-func sortedKeys(m map[float64]struct{}) []float64 {
-	out := make([]float64, 0, len(m))
-	for v := range m {
-		out = append(out, v)
-	}
-	sort.Float64s(out)
 	return out
 }

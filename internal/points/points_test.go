@@ -93,30 +93,132 @@ func TestDeadlinesImplicit(t *testing.T) {
 		{Name: "a", C: 1, T: 4, D: 4},
 		{Name: "b", C: 1, T: 6, D: 6},
 	}
-	got := Deadlines(s, 12)
+	got := mustDeadlines(t, s, 12)
 	want := []float64{4, 6, 8, 12}
 	assertEqual(t, got, want)
 }
 
 func TestDeadlinesConstrained(t *testing.T) {
 	s := task.Set{{Name: "a", C: 1, T: 10, D: 3}}
-	got := Deadlines(s, 25)
+	got := mustDeadlines(t, s, 25)
 	want := []float64{3, 13, 23}
 	assertEqual(t, got, want)
 }
 
 func TestDeadlinesPaperSet(t *testing.T) {
 	s := task.PaperTaskSet().ByMode(task.FT)
-	got := Deadlines(s, 60)
+	got := mustDeadlines(t, s, 60)
 	// Periods 12, 15, 20, 30 with implicit deadlines up to 60.
 	want := []float64{12, 15, 20, 24, 30, 36, 40, 45, 48, 60}
 	assertEqual(t, got, want)
 }
 
 func TestDeadlinesEmpty(t *testing.T) {
-	if got := Deadlines(nil, 100); len(got) != 0 {
+	if got := mustDeadlines(t, nil, 100); len(got) != 0 {
 		t.Errorf("Deadlines(nil) = %v, want empty", got)
 	}
+}
+
+func TestDeadlinesRejectsNonPositivePeriod(t *testing.T) {
+	// A task with T ≤ 0 has a deadline stream that never advances; the
+	// old map-based implementation looped forever here.
+	for _, T := range []float64{0, -4} {
+		s := task.Set{{Name: "bad", C: 1, T: T, D: 3}}
+		if _, err := Deadlines(s, 100); err == nil {
+			t.Errorf("Deadlines with T = %g: want error, got none", T)
+		}
+	}
+}
+
+func TestDeadlinesMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(6) + 1
+		s := make(task.Set, n)
+		for i := range s {
+			T := float64(rng.Intn(20) + 1)
+			d := float64(rng.Intn(int(T))) + 1
+			s[i] = task.Task{T: T, D: d}
+		}
+		horizon := float64(rng.Intn(200) + 1)
+		got := mustDeadlines(t, s, horizon)
+		// Reference: the original hash-and-sort construction.
+		seen := make(map[float64]struct{})
+		for _, tk := range s {
+			for k := 0; ; k++ {
+				dl := float64(k)*tk.T + tk.D
+				if dl > horizon {
+					break
+				}
+				if dl > 0 {
+					seen[dl] = struct{}{}
+				}
+			}
+		}
+		want := make([]float64, 0, len(seen))
+		for v := range seen {
+			want = append(want, v)
+		}
+		sort.Float64s(want)
+		if len(got) != len(want) {
+			t.Fatalf("set %v horizon %g: got %v, want %v", s, horizon, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("set %v horizon %g: got %v, want %v", s, horizon, got, want)
+			}
+		}
+	}
+}
+
+func TestFixedPriorityMatchesRecursiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(6)
+		hp := make(task.Set, n)
+		for i := range hp {
+			hp[i] = task.Task{T: float64(rng.Intn(25) + 1)}
+		}
+		d := float64(rng.Intn(60) + 1)
+		got := FixedPriority(hp, d)
+		// Reference: the original exponential recursion with map dedup.
+		seen := make(map[float64]struct{})
+		var rec func(j int, p float64)
+		rec = func(j int, p float64) {
+			if p <= 0 {
+				return
+			}
+			if j == 0 {
+				seen[p] = struct{}{}
+				return
+			}
+			rec(j-1, math.Floor(p/hp[j-1].T)*hp[j-1].T)
+			rec(j-1, p)
+		}
+		rec(len(hp), d)
+		want := make([]float64, 0, len(seen))
+		for v := range seen {
+			want = append(want, v)
+		}
+		sort.Float64s(want)
+		if len(got) != len(want) {
+			t.Fatalf("hp %v d %g: got %v, want %v", hp, d, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("hp %v d %g: got %v, want %v", hp, d, got, want)
+			}
+		}
+	}
+}
+
+func mustDeadlines(t *testing.T, s task.Set, horizon float64) []float64 {
+	t.Helper()
+	got, err := Deadlines(s, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
 }
 
 func TestDenseGrid(t *testing.T) {

@@ -1,0 +1,91 @@
+package region
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// naiveSweep reproduces the pre-compilation Sweep: one naive Problem.LHS
+// evaluation per sample. It is the oracle the compiled sweep must match
+// point for point, bit for bit.
+func naiveSweep(t *testing.T, pr interface {
+	LHS(p float64) (float64, error)
+}, pMax float64, samples int) []Point {
+	t.Helper()
+	out := make([]Point, 0, samples)
+	step := pMax / float64(samples)
+	for i := 1; i <= samples; i++ {
+		p := float64(i) * step
+		lhs, err := pr.LHS(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Point{P: p, LHS: lhs})
+	}
+	return out
+}
+
+func TestSweepBitIdenticalToNaive(t *testing.T) {
+	for _, alg := range []analysis.Alg{analysis.RM, analysis.DM, analysis.EDF} {
+		pr := paperProblem(alg, 0.05)
+		opts := Options{PMax: 3.5, Samples: 350}
+		got, err := Sweep(pr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveSweep(t, pr, opts.PMax, opts.Samples)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d points, want %d", alg, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: point %d differs: compiled %+v, naive %+v", alg, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSearchesMatchNaivePeriods(t *testing.T) {
+	// The scalar searches went through Problem.LHS before the compiled
+	// layer existed; the compiled evaluations are bit-identical, so the
+	// search results must be too. Guard the headline Figure 4 numbers.
+	pr := paperProblem(analysis.EDF, 0.05)
+	cp, err := pr.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := MaxFeasiblePeriod(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := MaxFeasiblePeriodCompiled(cp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Errorf("MaxFeasiblePeriod: wrapper %g, compiled %g", p1, p2)
+	}
+	o1p, o1, err := MaxAdmissibleOverhead(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2p, o2, err := MaxAdmissibleOverheadCompiled(cp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1p != o2p || o1 != o2 {
+		t.Errorf("MaxAdmissibleOverhead: wrapper (%g, %g), compiled (%g, %g)", o1p, o1, o2p, o2)
+	}
+	s1p, s1, err := MaxSlackBandwidth(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2p, s2, err := MaxSlackBandwidthCompiled(cp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1p != s2p || s1 != s2 {
+		t.Errorf("MaxSlackBandwidth: wrapper (%g, %g), compiled (%g, %g)", s1p, s1, s2p, s2)
+	}
+}

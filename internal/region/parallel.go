@@ -3,6 +3,7 @@ package region
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -13,7 +14,19 @@ import (
 // dominates the cost of exploring large workloads. The result is
 // identical to Sweep's, in the same order.
 func SweepParallel(pr core.Problem, opts Options, workers int) ([]Point, error) {
-	opts, err := opts.withDefaults(pr)
+	cp, err := pr.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return SweepParallelCompiled(cp, opts, workers)
+}
+
+// SweepParallelCompiled is SweepParallel for an already-compiled
+// problem. The workers share the immutable compiled profiles and claim
+// samples from an atomic counter, so the only write contention is one
+// fetch-add per sample.
+func SweepParallelCompiled(cp *core.CompiledProblem, opts Options, workers int) ([]Point, error) {
+	opts, err := opts.withDefaults(cp.Problem())
 	if err != nil {
 		return nil, err
 	}
@@ -21,47 +34,24 @@ func SweepParallel(pr core.Problem, opts Options, workers int) ([]Point, error) 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	out := make([]Point, opts.Samples)
-	errs := make([]error, workers)
 	step := opts.PMax / float64(opts.Samples)
 
-	var next int64
-	var mu sync.Mutex
-	claim := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= int64(opts.Samples) {
-			return -1
-		}
-		i := int(next)
-		next++
-		return i
-	}
-
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
 			for {
-				i := claim()
-				if i < 0 {
+				i := int(next.Add(1)) - 1
+				if i >= opts.Samples {
 					return
 				}
 				p := float64(i+1) * step
-				lhs, err := pr.LHS(p)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				out[i] = Point{P: p, LHS: lhs}
+				out[i] = Point{P: p, LHS: cp.LHS(p)}
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
 	return out, nil
 }

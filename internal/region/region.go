@@ -100,9 +100,22 @@ type Point struct {
 
 // Sweep evaluates lhs(P) over an even grid of (0, PMax], producing the
 // data behind Figure 4. The first sample sits at PMax/Samples, not at 0
-// where the condition is degenerate.
+// where the condition is degenerate. The problem is compiled once (see
+// core.Problem.Compile) and every sample is served from the compiled
+// profiles.
 func Sweep(pr core.Problem, opts Options) ([]Point, error) {
-	opts, err := opts.withDefaults(pr)
+	cp, err := pr.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return SweepCompiled(cp, opts)
+}
+
+// SweepCompiled is Sweep for an already-compiled problem, so callers
+// running several searches over the same problem pay the compilation
+// once.
+func SweepCompiled(cp *core.CompiledProblem, opts Options) ([]Point, error) {
+	opts, err := opts.withDefaults(cp.Problem())
 	if err != nil {
 		return nil, err
 	}
@@ -110,11 +123,7 @@ func Sweep(pr core.Problem, opts Options) ([]Point, error) {
 	step := opts.PMax / float64(opts.Samples)
 	for i := 1; i <= opts.Samples; i++ {
 		p := float64(i) * step
-		lhs, err := pr.LHS(p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Point{P: p, LHS: lhs})
+		out = append(out, Point{P: p, LHS: cp.LHS(p)})
 	}
 	return out, nil
 }
@@ -126,26 +135,26 @@ var ErrInfeasible = errors.New("region: no feasible period for the given overhea
 // lhs(P) ≥ O_tot (points ①, ② and ⑤ of Figure 4). It scans from PMax
 // downward and sharpens the boundary by bisection.
 func MaxFeasiblePeriod(pr core.Problem, opts Options) (float64, error) {
-	opts, err := opts.withDefaults(pr)
+	cp, err := pr.Compile()
 	if err != nil {
 		return 0, err
 	}
-	target := pr.O.Total()
-	step := opts.PMax / float64(opts.Samples)
-	feasible := func(p float64) (bool, error) {
-		lhs, err := pr.LHS(p)
-		if err != nil {
-			return false, err
-		}
-		return lhs >= target, nil
+	return MaxFeasiblePeriodCompiled(cp, opts)
+}
+
+// MaxFeasiblePeriodCompiled is MaxFeasiblePeriod for an
+// already-compiled problem.
+func MaxFeasiblePeriodCompiled(cp *core.CompiledProblem, opts Options) (float64, error) {
+	opts, err := opts.withDefaults(cp.Problem())
+	if err != nil {
+		return 0, err
 	}
+	target := cp.Problem().O.Total()
+	step := opts.PMax / float64(opts.Samples)
+	feasible := func(p float64) bool { return cp.LHS(p) >= target }
 	for i := opts.Samples; i >= 1; i-- {
 		p := float64(i) * step
-		ok, err := feasible(p)
-		if err != nil {
-			return 0, err
-		}
-		if !ok {
+		if !feasible(p) {
 			continue
 		}
 		// p feasible, p+step (if inside the range) infeasible: bisect.
@@ -155,11 +164,7 @@ func MaxFeasiblePeriod(pr core.Problem, opts Options) (float64, error) {
 		}
 		for hi-lo > bisectTolerance {
 			mid := (lo + hi) / 2
-			ok, err := feasible(mid)
-			if err != nil {
-				return 0, err
-			}
-			if ok {
+			if feasible(mid) {
 				lo = mid
 			} else {
 				hi = mid
@@ -177,23 +182,43 @@ func MaxFeasiblePeriod(pr core.Problem, opts Options) (float64, error) {
 // bracket (lhs is smooth between scheduling-point kinks, and the scan is
 // fine enough to land the bracket on the right piece).
 func MaxAdmissibleOverhead(pr core.Problem, opts Options) (period, overhead float64, err error) {
-	opts, err = opts.withDefaults(pr)
+	cp, err := pr.Compile()
 	if err != nil {
 		return 0, 0, err
 	}
-	return maximize(pr, opts, func(p, lhs float64) float64 { return lhs })
+	return MaxAdmissibleOverheadCompiled(cp, opts)
+}
+
+// MaxAdmissibleOverheadCompiled is MaxAdmissibleOverhead for an
+// already-compiled problem.
+func MaxAdmissibleOverheadCompiled(cp *core.CompiledProblem, opts Options) (period, overhead float64, err error) {
+	opts, err = opts.withDefaults(cp.Problem())
+	if err != nil {
+		return 0, 0, err
+	}
+	return maximize(cp, opts, func(p, lhs float64) float64 { return lhs })
 }
 
 // MaxSlackBandwidth returns the period maximising the redistributable
 // slack bandwidth (lhs(P) − O_tot)/P — the paper's second design goal
 // (maximum run-time flexibility, Table 2(c)) — and that bandwidth.
 func MaxSlackBandwidth(pr core.Problem, opts Options) (period, bandwidth float64, err error) {
-	opts, err = opts.withDefaults(pr)
+	cp, err := pr.Compile()
 	if err != nil {
 		return 0, 0, err
 	}
-	target := pr.O.Total()
-	p, v, err := maximize(pr, opts, func(p, lhs float64) float64 { return (lhs - target) / p })
+	return MaxSlackBandwidthCompiled(cp, opts)
+}
+
+// MaxSlackBandwidthCompiled is MaxSlackBandwidth for an
+// already-compiled problem.
+func MaxSlackBandwidthCompiled(cp *core.CompiledProblem, opts Options) (period, bandwidth float64, err error) {
+	opts, err = opts.withDefaults(cp.Problem())
+	if err != nil {
+		return 0, 0, err
+	}
+	target := cp.Problem().O.Total()
+	p, v, err := maximize(cp, opts, func(p, lhs float64) float64 { return (lhs - target) / p })
 	if err != nil {
 		return 0, 0, err
 	}
@@ -204,24 +229,15 @@ func MaxSlackBandwidth(pr core.Problem, opts Options) (period, bandwidth float64
 }
 
 // maximize scans objective(p, lhs(p)) over the grid and refines the best
-// bracket by golden-section search.
-func maximize(pr core.Problem, opts Options, objective func(p, lhs float64) float64) (float64, float64, error) {
+// bracket by golden-section search. All lhs evaluations are served from
+// the compiled profiles.
+func maximize(cp *core.CompiledProblem, opts Options, objective func(p, lhs float64) float64) (float64, float64, error) {
 	step := opts.PMax / float64(opts.Samples)
-	eval := func(p float64) (float64, error) {
-		lhs, err := pr.LHS(p)
-		if err != nil {
-			return 0, err
-		}
-		return objective(p, lhs), nil
-	}
+	eval := func(p float64) float64 { return objective(p, cp.LHS(p)) }
 	bestP, bestV := 0.0, math.Inf(-1)
 	for i := 1; i <= opts.Samples; i++ {
 		p := float64(i) * step
-		v, err := eval(p)
-		if err != nil {
-			return 0, 0, err
-		}
-		if v > bestV {
+		if v := eval(p); v > bestV {
 			bestP, bestV = p, v
 		}
 	}
@@ -230,34 +246,20 @@ func maximize(pr core.Problem, opts Options, objective func(p, lhs float64) floa
 	hi := math.Min(bestP+step, opts.PMax)
 	const phi = 0.6180339887498949
 	a, b := hi-phi*(hi-lo), lo+phi*(hi-lo)
-	fa, err := eval(a)
-	if err != nil {
-		return 0, 0, err
-	}
-	fb, err := eval(b)
-	if err != nil {
-		return 0, 0, err
-	}
+	fa, fb := eval(a), eval(b)
 	for hi-lo > bisectTolerance {
 		if fa < fb {
 			lo, a, fa = a, b, fb
 			b = lo + phi*(hi-lo)
-			if fb, err = eval(b); err != nil {
-				return 0, 0, err
-			}
+			fb = eval(b)
 		} else {
 			hi, b, fb = b, a, fa
 			a = hi - phi*(hi-lo)
-			if fa, err = eval(a); err != nil {
-				return 0, 0, err
-			}
+			fa = eval(a)
 		}
 	}
 	mid := (lo + hi) / 2
-	v, err := eval(mid)
-	if err != nil {
-		return 0, 0, err
-	}
+	v := eval(mid)
 	if v < bestV { // refinement can only improve; keep the scan winner otherwise
 		return bestP, bestV, nil
 	}

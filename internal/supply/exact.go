@@ -57,7 +57,11 @@ func FeasibleExactEDF(s task.Set, z Function) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	for _, t := range points.Deadlines(s, h) {
+	dls, err := points.Deadlines(s, h)
+	if err != nil {
+		return false, err
+	}
+	for _, t := range dls {
 		if analysis.DemandBound(s, t) > z.Value(t)+1e-12 {
 			return false, nil
 		}

@@ -116,9 +116,32 @@ func DesignBoth(pr Problem) (maxPeriod, maxSlack Solution, err error) {
 	return design.Both(pr, region.Options{})
 }
 
-// Explore samples the Figure 4 curve lhs(P) over (0, opts.PMax].
+// Explore samples the Figure 4 curve lhs(P) over (0, opts.PMax]. The
+// problem is compiled once (see Compile) and every sample is served
+// from the compiled demand profiles.
 func Explore(pr Problem, opts ExploreOptions) ([]SweepPoint, error) {
 	return region.Sweep(pr, opts)
+}
+
+// CompiledProblem caches a problem's per-channel demand profiles — the
+// P-independent part of Eq. (15) — so repeated LHS evaluations become
+// allocation-free loops. All Explore/Design entry points compile
+// internally; use Compile directly when running several searches over
+// the same problem.
+type CompiledProblem = core.CompiledProblem
+
+// Compile compiles the problem's demand profiles once.
+func Compile(pr Problem) (*CompiledProblem, error) { return pr.Compile() }
+
+// ExploreCompiled is Explore for an already-compiled problem.
+func ExploreCompiled(cp *CompiledProblem, opts ExploreOptions) ([]SweepPoint, error) {
+	return region.SweepCompiled(cp, opts)
+}
+
+// ExploreParallelCompiled is ExploreParallel for an already-compiled
+// problem.
+func ExploreParallelCompiled(cp *CompiledProblem, opts ExploreOptions, workers int) ([]SweepPoint, error) {
+	return region.SweepParallelCompiled(cp, opts, workers)
 }
 
 // MaxFeasiblePeriod returns the largest period satisfying Eq. (15).
