@@ -422,6 +422,130 @@ func BenchmarkAblationNonUniformLayout(b *testing.B) {
 	b.ReportMetric(l.Slack(), "slack")
 }
 
+// churnChannel builds an n-task single-channel workload (everything on
+// the FT channel) over a period grid whose LCM is 120, bounding the
+// hyperperiod. Note a small n may realise a shorter hyperperiod (n=10
+// with this seed draws no T=8, giving 60), so guests for the size sweep
+// must come from the channel itself; the 20-task channel used by the
+// guest sweep realises the full 120.
+func churnChannel(b *testing.B, n int) TaskSet {
+	b.Helper()
+	src, err := workload.Generate(workload.Config{
+		N:                n,
+		TotalUtilization: 0.75,
+		Periods:          []float64{4, 5, 6, 8, 10, 12, 15, 20, 30, 60},
+		Seed:             17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make(TaskSet, n)
+	for i, tk := range src {
+		tk.Mode, tk.Channel = FT, 0
+		out[i] = tk
+	}
+	return out
+}
+
+// BenchmarkAdmitRemoveChurn is the tentpole measurement of the
+// incremental profile layer: one admit+remove cycle on a 20-task
+// channel, patching the compiled profile (WithTask/WithoutTask) versus
+// recompiling the channel from scratch the way reshape used to. The
+// guest's period selects its deadline count within the fixed 120-unit
+// hyperperiod (T=60 → 2 points, T=12 → 10, T=5 → 24, all on the
+// channel's own deadline grid): the incremental cycle never rebuilds the
+// per-task demand matrix, so its cost tracks the channel's point stream
+// plus the guest's own deadlines, while recompilation rebuilds
+// tasks × points demand every time. The off-grid guest (D=3.7, so its
+// deadlines land between the channel's integer scheduling points)
+// exercises the heavier merge/unmerge path — every one of its 30 points
+// is brand new — and is the worst case for the patch. The channel-size sweep readmits a clone
+// of each channel's own first task, and the manager sub-benchmark
+// measures the full admission-controller cycle built on the incremental
+// path.
+func BenchmarkAdmitRemoveChurn(b *testing.B) {
+	const channelTasks = 20
+	ch := churnChannel(b, channelTasks)
+	pf, err := analysis.Compile(ch, EDF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cycle := func(b *testing.B, pf *analysis.Profile, guest Task) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			grown, err := pf.WithTask(guest)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := grown.WithoutTask(guest); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	recompileCycle := func(b *testing.B, ch TaskSet, guest Task) {
+		b.Helper()
+		b.ReportAllocs()
+		candidate := append(append(TaskSet(nil), ch...), guest)
+		for i := 0; i < b.N; i++ {
+			if _, err := analysis.Compile(candidate, EDF); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := analysis.Compile(ch, EDF); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, gT := range []float64{60, 12, 5} {
+		guest := Task{Name: "churn-guest", C: 0.05, T: gT, D: gT, Mode: FT, Channel: 0}
+		b.Run(fmt.Sprintf("incremental/guestT=%g", gT), func(b *testing.B) {
+			cycle(b, pf, guest)
+			b.ReportMetric(120/gT, "guestDLs")
+		})
+		b.Run(fmt.Sprintf("recompile/guestT=%g", gT), func(b *testing.B) {
+			recompileCycle(b, ch, guest)
+			b.ReportMetric(120/gT, "guestDLs")
+		})
+	}
+	offgrid := Task{Name: "churn-guest", C: 0.05, T: 4, D: 3.7, Mode: FT, Channel: 0}
+	b.Run("incremental/offgridT=4", func(b *testing.B) { cycle(b, pf, offgrid) })
+	b.Run("recompile/offgridT=4", func(b *testing.B) { recompileCycle(b, ch, offgrid) })
+	for _, n := range []int{10, 40} {
+		sized := churnChannel(b, n)
+		szPf, err := analysis.Compile(sized, EDF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clone := sized[0]
+		clone.Name = "churn-guest"
+		b.Run(fmt.Sprintf("incremental/channelN=%d", n), func(b *testing.B) {
+			cycle(b, szPf, clone)
+		})
+	}
+	b.Run("manager", func(b *testing.B) {
+		pr := Problem{Tasks: ch, Alg: EDF}
+		cfg, err := pr.ConfigFor(2.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr, err := NewOnlineManager(pr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		guest := Task{Name: "mgr-guest", C: 0.05, T: 12, D: 12, Mode: FT, Channel: 0}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := mgr.Admit(guest); err != nil {
+				b.Fatal(err)
+			}
+			if err := mgr.Remove(guest.Name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkOnlineAdmission measures one admit/remove reconfiguration
 // cycle on the live max-flexibility design.
 func BenchmarkOnlineAdmission(b *testing.B) {

@@ -21,11 +21,19 @@
 //     (analysis.Profile) — the P-independent half of Eq. (15) — so
 //     repeated LHS evaluations run allocation-free; every search below
 //     uses this compiled path, with the naive methods kept as the
-//     reference oracle;
+//     reference oracle. Profiles update incrementally: WithTask and
+//     WithoutTask (on both analysis.Profile and core.CompiledProblem)
+//     patch one task's deadline stream in or out and re-prune, staying
+//     bit-identical to a fresh compile, so "what if this task joined
+//     channel i" costs the newcomer's own deadlines rather than a
+//     channel recompilation;
 //   - internal/region, internal/design: Figure 4 exploration and the
 //     two design goals of Table 2;
 //   - internal/partition, internal/workload: automatic channel
 //     assignment and synthetic workload generation;
+//   - internal/online: the run-time admission controller of the paper's
+//     second design goal, built on the incremental profiles so each
+//     admit or release costs the change, not the channel;
 //   - internal/platform, internal/faults, internal/sim,
 //     internal/recovery, internal/trace: the executable platform model
 //     with fault injection and recovery policies;

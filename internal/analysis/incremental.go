@@ -1,0 +1,360 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/points"
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+// This file implements incremental profile updates, the run-time
+// counterpart of Compile. An admission controller (internal/online)
+// touches one channel per event; recompiling that channel from scratch
+// makes the event cost scale with the channel — hyperperiod, deadline
+// merge, demand values and envelope are all rebuilt even though a single
+// task changed. WithTask and WithoutTask instead patch the compiled
+// state:
+//
+//   - EDF: the profile retains the pre-pruning deadline stream ts and,
+//     per task, the prefix demand rows pre[i] (the exact partial sums
+//     DemandBound accumulates in set order). Admitting a task merges its
+//     deadline stream into ts, extends existing prefix rows only at the
+//     brand-new points, and appends one new row; releasing a task drops
+//     its solely-owned points and re-accumulates only the suffix rows at
+//     or after its position. Because the retained rows are the partial
+//     sums of the very accumulation a fresh Compile performs — and
+//     float64 addition of an identical term sequence is deterministic —
+//     the patched demand row, and therefore the re-pruned envelope, is
+//     bit-identical to a fresh Compile of the same set.
+//
+//   - RM/DM: priority levels above the changed task keep their
+//     higher-priority sets, so their rows are shared unchanged; only the
+//     suffix from the task's priority position down is rebuilt, through
+//     the same compileFPRow used by Compile.
+//
+// The retained streams are the memory-for-latency trade called out in
+// the package comment: one float64 per task per deadline point, private
+// to the profile. Both operations fall back to a fresh Compile when
+// patching has no advantage (empty profiles, or an EDF hyperperiod
+// change, where every stream would extend anyway); the fallback is also
+// the property-test oracle (see incremental_test.go).
+
+// WithTask returns a new profile for the compiled set plus t, equivalent
+// to Compile(append(set, t), alg) — bit-identical in its retained pairs —
+// at a cost that scales with t's own deadline count (EDF) or priority
+// suffix (RM/DM) rather than the whole set. The receiver is unchanged
+// and shares unmodified state with the result.
+func (pf *Profile) WithTask(t task.Task) (*Profile, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("analysis: WithTask: %w", err)
+	}
+	switch pf.alg {
+	case EDF:
+		return pf.withTaskEDF(t)
+	case RM, DM:
+		return pf.withTaskFP(t)
+	}
+	return nil, fmt.Errorf("analysis: WithTask: unknown algorithm %s", pf.alg)
+}
+
+// WithoutTask returns a new profile for the compiled set minus t,
+// equivalent to Compile of the surviving set. The task must be present
+// (exact field equality); the receiver is unchanged.
+func (pf *Profile) WithoutTask(t task.Task) (*Profile, error) {
+	switch pf.alg {
+	case EDF:
+		return pf.withoutTaskEDF(t)
+	case RM, DM:
+		return pf.withoutTaskFP(t)
+	}
+	return nil, fmt.Errorf("analysis: WithoutTask: unknown algorithm %s", pf.alg)
+}
+
+// Tasks returns a copy of the compiled task set: in declaration order
+// for EDF, in priority order for RM/DM.
+func (pf *Profile) Tasks() task.Set {
+	return append(task.Set(nil), pf.tasks...)
+}
+
+// Equal reports whether two profiles retain bit-identical pruned pairs
+// for the same algorithm — the exactness guarantee of the incremental
+// constructors relative to a fresh Compile.
+func (pf *Profile) Equal(o *Profile) bool {
+	if pf.alg != o.alg || len(pf.edf) != len(o.edf) || len(pf.fp) != len(o.fp) {
+		return false
+	}
+	for i := range pf.edf {
+		if pf.edf[i] != o.edf[i] {
+			return false
+		}
+	}
+	for i := range pf.fp {
+		if len(pf.fp[i]) != len(o.fp[i]) {
+			return false
+		}
+		for k := range pf.fp[i] {
+			if pf.fp[i][k] != o.fp[i][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (pf *Profile) withTaskEDF(t task.Task) (*Profile, error) {
+	cand := append(append(make(task.Set, 0, len(pf.tasks)+1), pf.tasks...), t)
+	if len(pf.tasks) == 0 {
+		return Compile(cand, EDF)
+	}
+	pScaled, err := timeu.ScaledPeriod(t.T, HyperperiodDenominator)
+	if err != nil {
+		return nil, err
+	}
+	if timeu.LCM(pf.horizonInt, pScaled) != pf.horizonInt {
+		// The newcomer stretches the hyperperiod, so every existing
+		// stream extends and patching has no advantage. (Integer LCM is
+		// order-independent, so folding one more period reproduces the
+		// hyperperiod a fresh Compile of the whole candidate computes.)
+		return Compile(cand, EDF)
+	}
+	n := len(pf.tasks)
+	next := &Profile{alg: EDF, tasks: cand, horizon: pf.horizon, horizonInt: pf.horizonInt}
+	next.scaled = append(append(make([]int64, 0, n+1), pf.scaled...), pScaled)
+	// Walk t's deadline stream against ts, counting brand-new points.
+	stream := points.TaskDeadlines(t, pf.horizon)
+	missing := 0
+	i := 0
+	for _, x := range stream {
+		for i < len(pf.ts) && pf.ts[i] < x {
+			i++
+		}
+		if i < len(pf.ts) && pf.ts[i] == x {
+			i++
+		} else {
+			missing++
+		}
+	}
+	if missing == 0 {
+		// Every deadline of t already is a scheduling point: share the
+		// stream and all prefix rows, bump owner counts, append t's row.
+		next.ts = pf.ts
+		next.owners = append(make([]int32, 0, len(pf.ts)), pf.owners...)
+		i := 0
+		for _, x := range stream {
+			for pf.ts[i] != x {
+				i++
+			}
+			next.owners[i]++
+			i++
+		}
+		next.pre = make([][]float64, n+1)
+		copy(next.pre, pf.pre)
+		last := make([]float64, len(pf.ts))
+		base := pf.pre[n-1]
+		for k, x := range pf.ts {
+			last[k] = base[k] + demandTerm(t, x)
+		}
+		next.pre[n] = last
+	} else {
+		next.ts = points.MergeUnique(pf.ts, stream)
+		N := len(next.ts)
+		next.owners = make([]int32, N)
+		next.pre = prefixRows(n+1, N)
+		// Mark the merged positions: inserted points get fresh prefix
+		// columns, runs of retained points get block copies per row.
+		inserted := make([]int, 0, missing)
+		i, j := 0, 0
+		for k, x := range next.ts {
+			if i < len(pf.ts) && pf.ts[i] == x {
+				next.owners[k] = pf.owners[i]
+				i++
+			} else {
+				inserted = append(inserted, k)
+			}
+			if j < len(stream) && stream[j] == x {
+				next.owners[k]++
+				j++
+			}
+		}
+		for r := 0; r < n; r++ {
+			dst, src := next.pre[r], pf.pre[r]
+			from, at := 0, 0
+			for _, k := range inserted {
+				copy(dst[at:k], src[from:from+(k-at)])
+				from += k - at
+				at = k + 1
+			}
+			copy(dst[at:], src[from:])
+		}
+		for _, k := range inserted {
+			// A brand-new point: accumulate the old set's prefix demand
+			// exactly as a fresh Compile would.
+			x := next.ts[k]
+			w := 0.0
+			for r, tk := range pf.tasks {
+				w += demandTerm(tk, x)
+				next.pre[r][k] = w
+			}
+		}
+		last, base := next.pre[n], next.pre[n-1]
+		for k, x := range next.ts {
+			last[k] = base[k] + demandTerm(t, x)
+		}
+	}
+	next.edf, next.rankKeys = envelopePairs(next.ts, next.pre[n], pf.rankKeys)
+	return next, nil
+}
+
+func (pf *Profile) withoutTaskEDF(t task.Task) (*Profile, error) {
+	idx := pf.indexOf(t)
+	if idx < 0 {
+		return nil, fmt.Errorf("analysis: WithoutTask: task %q not in profile", t.Name)
+	}
+	surv := append(append(make(task.Set, 0, len(pf.tasks)-1), pf.tasks[:idx]...), pf.tasks[idx+1:]...)
+	if len(surv) == 0 {
+		return Compile(nil, EDF)
+	}
+	// Re-fold the surviving hyperperiod from the cached scaled periods;
+	// integer LCM is order-independent, so this matches what a fresh
+	// Compile of surv computes.
+	hInt := int64(1)
+	for r, p := range pf.scaled {
+		if r != idx {
+			hInt = timeu.LCM(hInt, p)
+		}
+	}
+	if hInt != pf.horizonInt {
+		// The departing task carried the hyperperiod; the whole stream
+		// re-ranges, so patching has no advantage.
+		return Compile(surv, EDF)
+	}
+	n := len(surv)
+	next := &Profile{alg: EDF, tasks: surv, horizon: pf.horizon, horizonInt: hInt}
+	next.scaled = append(append(make([]int64, 0, n), pf.scaled[:idx]...), pf.scaled[idx+1:]...)
+	next.pre = make([][]float64, n)
+	// Walk t's deadline stream against ts, decrementing owner counts:
+	// points owned solely by the departing task (count reaching zero)
+	// disappear from the stream; points shared with a survivor stay. The
+	// compiled invariant is that every stream point is in ts; the bounds
+	// guard turns a violation (impossible unless the profile state is
+	// corrupted) into a fresh compile instead of a panic.
+	owners := append(make([]int32, 0, len(pf.ts)), pf.owners...)
+	drops := 0
+	i := 0
+	for _, x := range points.TaskDeadlines(t, pf.horizon) {
+		for i < len(pf.ts) && pf.ts[i] != x {
+			i++
+		}
+		if i == len(pf.ts) {
+			return Compile(surv, EDF)
+		}
+		if owners[i]--; owners[i] == 0 {
+			drops++
+		}
+		i++
+	}
+	if drops == 0 {
+		next.ts = pf.ts
+		next.owners = owners
+		copy(next.pre, pf.pre[:idx])
+	} else {
+		N := len(pf.ts) - drops
+		next.ts = make([]float64, N)
+		next.owners = make([]int32, N)
+		rows := prefixRows(idx, N)
+		// Block-copy the runs between dropped positions into the
+		// surviving stream, owner counts and untouched prefix rows.
+		from, at := 0, 0
+		flush := func(until int) {
+			copy(next.ts[at:], pf.ts[from:until])
+			copy(next.owners[at:], owners[from:until])
+			for r := 0; r < idx; r++ {
+				copy(rows[r][at:], pf.pre[r][from:until])
+			}
+			at += until - from
+			from = until
+		}
+		for p, c := range owners {
+			if c == 0 {
+				flush(p)
+				from = p + 1 // skip the dropped point
+			}
+		}
+		flush(len(pf.ts))
+		copy(next.pre, rows)
+	}
+	// Tasks at or after the removed position see a shifted prefix sum:
+	// re-accumulate their rows on top of the last untouched one.
+	suffix := prefixRows(n-idx, len(next.ts))
+	for r := idx; r < n; r++ {
+		row := suffix[r-idx]
+		tk := surv[r]
+		if r == 0 {
+			for k, x := range next.ts {
+				row[k] = demandTerm(tk, x)
+			}
+		} else {
+			base := next.pre[r-1]
+			for k, x := range next.ts {
+				row[k] = base[k] + demandTerm(tk, x)
+			}
+		}
+		next.pre[r] = row
+	}
+	next.edf, next.rankKeys = envelopePairs(next.ts, next.pre[n-1], pf.rankKeys)
+	return next, nil
+}
+
+func (pf *Profile) withTaskFP(t task.Task) (*Profile, error) {
+	// The profile's tasks are priority-ordered; the comparator is a total
+	// order (unique names break exact ties), so the newcomer's position
+	// is the same one a full re-sort would give it.
+	j := sort.Search(len(pf.tasks), func(i int) bool { return pf.alg.priorityLess(t, pf.tasks[i]) })
+	ordered := make(task.Set, 0, len(pf.tasks)+1)
+	ordered = append(append(append(ordered, pf.tasks[:j]...), t), pf.tasks[j:]...)
+	next := &Profile{alg: pf.alg, tasks: ordered}
+	next.fp = make([][]pair, len(ordered))
+	// Levels above the newcomer keep their higher-priority sets: share.
+	copy(next.fp, pf.fp[:j])
+	for i := j; i < len(ordered); i++ {
+		next.fp[i] = compileFPRow(ordered[:i], ordered[i])
+	}
+	return next, nil
+}
+
+func (pf *Profile) withoutTaskFP(t task.Task) (*Profile, error) {
+	idx := pf.indexOf(t)
+	if idx < 0 {
+		return nil, fmt.Errorf("analysis: WithoutTask: task %q not in profile", t.Name)
+	}
+	ordered := append(append(make(task.Set, 0, len(pf.tasks)-1), pf.tasks[:idx]...), pf.tasks[idx+1:]...)
+	next := &Profile{alg: pf.alg, tasks: ordered}
+	next.fp = make([][]pair, len(ordered))
+	copy(next.fp, pf.fp[:idx])
+	for i := idx; i < len(ordered); i++ {
+		next.fp[i] = compileFPRow(ordered[:i], ordered[i])
+	}
+	return next, nil
+}
+
+// priorityLess is the strict priority order of a fixed-priority Alg —
+// the comparator task.SortedRM / SortedDM sort by.
+func (a Alg) priorityLess(x, y task.Task) bool {
+	if a == RM {
+		return task.LessRM(x, y)
+	}
+	return task.LessDM(x, y)
+}
+
+// indexOf locates t in the compiled set by exact field equality.
+func (pf *Profile) indexOf(t task.Task) int {
+	for i := range pf.tasks {
+		if pf.tasks[i] == t {
+			return i
+		}
+	}
+	return -1
+}
+

@@ -3,10 +3,11 @@ package analysis
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/points"
 	"repro/internal/task"
+	"repro/internal/timeu"
 )
 
 // This file implements the compiled-analysis layer. The design-space
@@ -54,7 +55,9 @@ type pair struct {
 
 // Profile is a task set's demand structure compiled for one scheduling
 // algorithm: everything minQ needs that does not depend on the period P.
-// A Profile is immutable after Compile and safe for concurrent use.
+// A Profile is immutable after Compile and safe for concurrent use; the
+// incremental constructors WithTask and WithoutTask (incremental.go)
+// return new profiles and share unchanged state with the receiver.
 type Profile struct {
 	alg Alg
 	// edf holds the surviving (t, W(t)) pairs of Eq. (11), ascending in
@@ -64,6 +67,38 @@ type Profile struct {
 	// (t, W_i(t)) pairs of that task's scheduling-point search in
 	// Eq. (6), ascending in t. Used when alg is RM or DM.
 	fp [][]pair
+
+	// The fields below are the incremental-update state: the pre-pruning
+	// demand streams retained alongside the pruned envelope, a deliberate
+	// memory-for-latency trade (see incremental.go) that stays private to
+	// the profile. tasks is the compiled set — in declaration order for
+	// EDF (the order the demand sum accumulates in) and in priority order
+	// for RM/DM (the order the fp rows are built in).
+	tasks task.Set
+	// horizon is the EDF hyperperiod the deadline stream was enumerated
+	// to (horizonInt its integer numerator over HyperperiodDenominator,
+	// for O(1) change detection); ts is that unpruned stream, ascending;
+	// owners[k] counts how many tasks have a deadline at ts[k], so a
+	// departure drops exactly the points whose count reaches zero without
+	// rescanning the survivors; pre[i][k] is the prefix demand Σ_{j ≤ i}
+	// contribution of tasks[j] at ts[k], so pre[i] is the exact partial
+	// sum DemandBound(tasks[:i+1], ts[k]) accumulates and
+	// pre[len(tasks)-1] is the full W(t) row the envelope prunes.
+	// scaled[i] is tasks[i].T as an integer numerator over
+	// HyperperiodDenominator, cached so a departure can re-fold the
+	// hyperperiod with pure integer LCMs.
+	// rankKeys is the sorted key order of the last EDF envelope pass,
+	// kept purely as a sort seed: churn barely perturbs the rank order,
+	// so seeding the next pass with it makes the sort near-linear. The
+	// sorted permutation of the (unique) keys is unique, so the seed can
+	// never change a result.
+	horizon    float64
+	horizonInt int64
+	scaled     []int64
+	ts         []float64
+	owners     []int32
+	pre        [][]float64
+	rankKeys   []uint64
 }
 
 // Compile builds the profile of s under alg. It performs all the
@@ -77,34 +112,104 @@ func Compile(s task.Set, alg Alg) (*Profile, error) {
 	}
 	switch alg {
 	case EDF:
-		h, err := s.Hyperperiod(HyperperiodDenominator)
-		if err != nil {
-			return nil, err
+		// The same integer fold task.Set.Hyperperiod performs, retaining
+		// the per-task scaled periods for incremental horizon updates.
+		scaled := make([]int64, len(s))
+		hInt := int64(1)
+		for i, tk := range s {
+			p, err := timeu.ScaledPeriod(tk.T, HyperperiodDenominator)
+			if err != nil {
+				return nil, err
+			}
+			scaled[i] = p
+			hInt = timeu.LCM(hInt, p)
 		}
+		pf.scaled = scaled
+		h := float64(hInt) / float64(HyperperiodDenominator)
 		dls, err := points.Deadlines(s, h)
 		if err != nil {
 			return nil, err
 		}
-		all := make([]pair, len(dls))
-		for i, t := range dls {
-			all[i] = pair{t: t, w: DemandBound(s, t)}
+		pf.tasks = append(task.Set(nil), s...)
+		pf.horizon = h
+		pf.horizonInt = hInt
+		pf.ts = dls
+		pf.owners = make([]int32, len(dls))
+		for _, tk := range s {
+			i := 0
+			for _, x := range points.TaskDeadlines(tk, h) {
+				for dls[i] != x {
+					i++
+				}
+				pf.owners[i]++
+				i++
+			}
 		}
-		pf.edf = envelope(all, false)
+		pf.pre = prefixRows(len(s), len(dls))
+		for k, x := range dls {
+			w := 0.0
+			for r, tk := range s {
+				w += demandTerm(tk, x)
+				pf.pre[r][k] = w
+			}
+		}
+		pf.edf, pf.rankKeys = envelopePairs(dls, pf.pre[len(s)-1], nil)
 	case RM, DM:
 		ordered := alg.sorted(s)
+		pf.tasks = ordered
 		pf.fp = make([][]pair, len(ordered))
 		for i, tk := range ordered {
-			pts := points.FixedPriority(ordered[:i], tk.D)
-			all := make([]pair, len(pts))
-			for k, t := range pts {
-				all[k] = pair{t: t, w: RequestBound(tk.C, ordered[:i], t)}
-			}
-			pf.fp[i] = envelope(all, true)
+			pf.fp[i] = compileFPRow(ordered[:i], tk)
 		}
 	default:
 		return nil, fmt.Errorf("analysis: Compile: unknown algorithm %s", alg)
 	}
 	return pf, nil
+}
+
+// prefixRows allocates n rows of width m over one backing array.
+func prefixRows(n, m int) [][]float64 {
+	backing := make([]float64, n*m)
+	rows := make([][]float64, n)
+	for r := range rows {
+		rows[r] = backing[r*m : (r+1)*m : (r+1)*m]
+	}
+	return rows
+}
+
+// demandTerm is task tk's contribution to the EDF demand bound at x —
+// the summand DemandBound accumulates. Adding the 0.0 it returns outside
+// the task's deadline range is a bitwise no-op (w ≥ 0 throughout), so
+// prefix rows accumulated with it are bit-identical to DemandBound.
+func demandTerm(tk task.Task, x float64) float64 {
+	if n := math.Floor((x + tk.T - tk.D) / tk.T); n > 0 {
+		return n * tk.C
+	}
+	return 0
+}
+
+// compileFPRow builds one priority level of the FP profile: the pruned
+// (t, W_i(t)) pairs of task tk's scheduling-point search under the
+// higher-priority set hp. Compile and the incremental suffix rebuilds
+// share this path, so their rows are bit-identical by construction.
+func compileFPRow(hp task.Set, tk task.Task) []pair {
+	pts := points.FixedPriority(hp, tk.D)
+	all := make([]pair, len(pts))
+	for k, t := range pts {
+		all[k] = pair{t: t, w: RequestBound(tk.C, hp, t)}
+	}
+	return envelope(all, true)
+}
+
+// envelopePairs zips a deadline stream with its demand row and prunes,
+// seeding the rank sort with a previous pass's key order (nil for a
+// cold start) and returning the new order for the next pass.
+func envelopePairs(ts, w []float64, hint []uint64) ([]pair, []uint64) {
+	all := make([]pair, len(ts))
+	for k := range ts {
+		all[k] = pair{t: ts[k], w: w[k]}
+	}
+	return envelopeHinted(all, false, hint)
 }
 
 // Alg returns the algorithm the profile was compiled for.
@@ -157,10 +262,35 @@ func (pf *Profile) MinQ(p float64) float64 {
 // the file comment for the argument). With min = false it keeps the
 // candidates for the maximum of qNeeded over the pairs (EDF, Eq. 11);
 // with min = true, the candidates for the minimum (the inner search of
-// FP's Eq. 6). The retained pairs are returned ascending in t.
+// FP's Eq. 6). all must be ascending in t (as the scheduling-point sets
+// are); the retained pairs are returned ascending in t, filtered in
+// place of all's backing.
+//
+// The pass is sorting-bound, and it runs on every incremental profile
+// update, so the rank0 order is computed by sorting packed uint64 keys
+// (the order-preserving bit transform of rank0 with the pair index in
+// the low 16 bits) rather than fat structs behind a comparator. The
+// index tiebreak perturbs the order only within 2¹⁶ ulps (~1e-12
+// relative), three orders of magnitude inside the 1e-9 pruneMargin, so
+// dominance decisions — which compare the true float64 ranks — remain
+// valid: a curve folded as a dominator is still a genuine dominator, and
+// at worst a razor-edge pair is kept that a pure rank order would have
+// pruned. The envelope stays a deterministic function of its input, and
+// every compile path (fresh and incremental) shares it, which is what
+// the bit-identity guarantee of WithTask/WithoutTask rests on. Inputs
+// too long for the 16-bit index fall back to the comparator sort.
 func envelope(all []pair, min bool) []pair {
+	kept, _ := envelopeHinted(all, min, nil)
+	return kept
+}
+
+// envelopeHinted is envelope with an optional sort seed: hint, when its
+// length matches, is a previously sorted key order whose indices refer
+// to the same positions in all; seeding with it makes the rank sort
+// near-linear under churn. It returns the sorted key order for reuse.
+func envelopeHinted(all []pair, min bool, hint []uint64) ([]pair, []uint64) {
 	if len(all) <= 1 {
-		return all
+		return all, nil
 	}
 	sign := 1.0
 	if min {
@@ -168,33 +298,93 @@ func envelope(all []pair, min bool) []pair {
 	}
 	// rank0 orders the curves as P → 0⁺, rankInf as P → ∞; the sign
 	// flip turns the min-envelope into the max-envelope of −qNeeded.
-	type key struct {
-		rank0, rankInf float64
-		p              pair
-	}
-	ks := make([]key, len(all))
+	n := len(all)
+	rank0 := make([]float64, 2*n)
+	rankInf := rank0[n:]
+	rank0 = rank0[:n:n]
 	for i, pr := range all {
-		ks[i] = key{rank0: sign * pr.w / pr.t, rankInf: sign * (pr.w - pr.t), p: pr}
+		rank0[i] = sign * pr.w / pr.t
+		rankInf[i] = sign * (pr.w - pr.t)
 	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i].rank0 > ks[j].rank0 })
+	order, idxMask := rankOrder(rank0, hint)
 	margin := func(v float64) float64 { return pruneMargin * (1 + math.Abs(v)) }
-	kept := all[:0]
+	drop := make([]bool, n)
 	bestInf := math.Inf(-1)
 	lead := 0
-	for j := range ks {
-		// Fold into bestInf every curve that beats ks[j] at P → 0⁺ by a
-		// clear margin; those are the admissible dominators of ks[j].
-		for lead < j && ks[lead].rank0 >= ks[j].rank0+margin(ks[j].rank0) {
-			if ks[lead].rankInf > bestInf {
-				bestInf = ks[lead].rankInf
+	for j, key := range order {
+		// Fold into bestInf every curve that beats pair idx at P → 0⁺ by
+		// a clear margin; those are its admissible dominators.
+		idx := int(key & idxMask)
+		thr := rank0[idx] + margin(rank0[idx])
+		for lead < j && rank0[int(order[lead]&idxMask)] >= thr {
+			if v := rankInf[int(order[lead]&idxMask)]; v > bestInf {
+				bestInf = v
 			}
 			lead++
 		}
-		if bestInf >= ks[j].rankInf+margin(ks[j].rankInf) {
-			continue // dominated at both extremes: below for every P
+		if bestInf >= rankInf[idx]+margin(rankInf[idx]) {
+			drop[idx] = true // dominated at both extremes: below for every P
 		}
-		kept = append(kept, ks[j].p)
 	}
-	sort.Slice(kept, func(i, j int) bool { return kept[i].t < kept[j].t })
-	return kept
+	kept := all[:0]
+	for i, pr := range all {
+		if !drop[i] {
+			kept = append(kept, pr)
+		}
+	}
+	return kept, order
+}
+
+// rankIdxBits is the index width of packed rank keys.
+const rankIdxBits = 16
+
+// rankOrder returns keys sorted so that the indices they carry (in the
+// bits selected by the returned mask) walk rank0 in descending value
+// order, with sub-ulp index tiebreaks as described at envelope. hint,
+// when its length matches, supplies the index order to build the keys
+// in before sorting — a seed only; the sorted result is the unique
+// sorted permutation either way. Longer inputs (> 2¹⁶ scheduling points
+// in one channel) fall back to a comparator sort whose keys are the raw
+// indices (mask all-ones), still deterministic.
+func rankOrder(rank0 []float64, hint []uint64) (keys []uint64, idxMask uint64) {
+	n := len(rank0)
+	keys = make([]uint64, n)
+	if n > 1<<rankIdxBits {
+		for i := range keys {
+			keys[i] = uint64(i)
+		}
+		slices.SortFunc(keys, func(a, b uint64) int {
+			switch {
+			case rank0[a] > rank0[b]:
+				return -1
+			case rank0[a] < rank0[b]:
+				return 1
+			}
+			return int(a) - int(b)
+		})
+		return keys, ^uint64(0)
+	}
+	const mask = 1<<rankIdxBits - 1
+	pack := func(i int) uint64 {
+		// Order-preserving float64 → uint64 transform, inverted for
+		// descending order, index in the low bits as tiebreak.
+		bits := math.Float64bits(rank0[i])
+		if bits&(1<<63) != 0 {
+			bits = ^bits
+		} else {
+			bits |= 1 << 63
+		}
+		return (^bits &^ mask) | uint64(i)
+	}
+	if len(hint) == n {
+		for j, h := range hint {
+			keys[j] = pack(int(h & mask))
+		}
+	} else {
+		for i := range rank0 {
+			keys[i] = pack(i)
+		}
+	}
+	slices.Sort(keys)
+	return keys, mask
 }

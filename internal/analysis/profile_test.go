@@ -164,3 +164,35 @@ func TestProfilePruning(t *testing.T) {
 		t.Errorf("EDF profile retained %d pairs, expected pruning below the %d raw deadlines", pf.Pairs(), full)
 	}
 }
+
+// TestRankOrderFallbackBoundary pins the comparator fallback of
+// rankOrder for inputs beyond the 16-bit packed-index width: the
+// returned keys must decode (via the returned mask) to a permutation
+// walking rank0 in descending order on both sides of the boundary. A
+// masking bug here once read indices modulo 2^16 and pruned unrelated
+// pairs.
+func TestRankOrderFallbackBoundary(t *testing.T) {
+	for _, n := range []int{1 << 16, 1<<16 + 1} {
+		rank0 := make([]float64, n)
+		for i := range rank0 {
+			rank0[i] = float64((i * 2654435761) % n)
+		}
+		keys, mask := rankOrder(rank0, nil)
+		if len(keys) != n {
+			t.Fatalf("n=%d: %d keys", n, len(keys))
+		}
+		seen := make([]bool, n)
+		prev := math.Inf(1)
+		for _, k := range keys {
+			idx := int(k & mask)
+			if idx < 0 || idx >= n || seen[idx] {
+				t.Fatalf("n=%d: decoded index %d invalid or repeated", n, idx)
+			}
+			seen[idx] = true
+			if rank0[idx] > prev {
+				t.Fatalf("n=%d: rank order not descending at index %d", n, idx)
+			}
+			prev = rank0[idx]
+		}
+	}
+}

@@ -106,8 +106,79 @@ func (cp *CompiledProblem) ConfigFor(p float64) (Config, error) {
 		},
 		O: cp.pr.O,
 	}
-	if cfg.Q.Total() > p+1e-9 {
+	if cfg.Q.Total() > p+SlotFitTol {
 		return Config{}, fmt.Errorf("core: period %g infeasible: slots need %g", p, cfg.Q.Total())
 	}
 	return cfg, nil
+}
+
+// WithTask returns a compiled problem for the problem's task set plus t
+// (normalised), updating only the profile of the channel t joins — the
+// other channels' profiles are shared with the receiver, and the touched
+// one is patched incrementally (analysis.Profile.WithTask). Together
+// with MinQuanta this answers "what if this task joined channel i"
+// without recompiling anything: cp.WithTask(t) costs the newcomer's own
+// deadline stream, and the receiver is unchanged, so rejected what-ifs
+// are free to discard.
+func (cp *CompiledProblem) WithTask(t task.Task) (*CompiledProblem, error) {
+	t = t.Normalized()
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("core: WithTask: %w", err)
+	}
+	// Mirror the admission controller's name guards: WithoutTask
+	// addresses tasks by name, so an anonymous task could never be
+	// removed again and a second task under an existing name would make
+	// the original silently unaddressable.
+	if t.Name == "" {
+		return nil, fmt.Errorf("core: WithTask: task must have a name (WithoutTask removes by name)")
+	}
+	if _, exists := cp.pr.Tasks.Find(t.Name); exists {
+		return nil, fmt.Errorf("core: WithTask: task %q already present", t.Name)
+	}
+	prof, err := cp.profiles[t.Mode][t.Channel].WithTask(t)
+	if err != nil {
+		return nil, fmt.Errorf("core: WithTask: %w", err)
+	}
+	next := cp.shallowClone()
+	next.pr.Tasks = append(next.pr.Tasks, t)
+	next.profiles[t.Mode][t.Channel] = prof
+	return next, nil
+}
+
+// WithoutTask returns a compiled problem for the problem's task set
+// minus the named task, updating only that task's channel profile.
+func (cp *CompiledProblem) WithoutTask(name string) (*CompiledProblem, error) {
+	idx := -1
+	for i, tk := range cp.pr.Tasks {
+		if name != "" && tk.Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("core: WithoutTask: no task %q", name)
+	}
+	t := cp.pr.Tasks[idx]
+	prof, err := cp.profiles[t.Mode][t.Channel].WithoutTask(t)
+	if err != nil {
+		return nil, fmt.Errorf("core: WithoutTask: %w", err)
+	}
+	next := cp.shallowClone()
+	next.pr.Tasks = append(next.pr.Tasks[:idx], next.pr.Tasks[idx+1:]...)
+	next.profiles[t.Mode][t.Channel] = prof
+	return next, nil
+}
+
+// shallowClone copies the task slice and the per-mode profile slices;
+// the profiles themselves are immutable and shared.
+func (cp *CompiledProblem) shallowClone() *CompiledProblem {
+	next := &CompiledProblem{pr: Problem{
+		Tasks: append(task.Set(nil), cp.pr.Tasks...),
+		Alg:   cp.pr.Alg,
+		O:     cp.pr.O,
+	}}
+	for _, m := range task.Modes() {
+		next.profiles[m] = append([]*analysis.Profile(nil), cp.profiles[m]...)
+	}
+	return next
 }

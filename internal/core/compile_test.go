@@ -114,3 +114,82 @@ func TestCompileRejectsBadTask(t *testing.T) {
 		t.Error("Compile with T = 0 task: want error, got none")
 	}
 }
+
+// TestCompiledWithTaskMatchesRecompile checks the what-if threading: a
+// compiled problem grown (or shrunk) by one task must answer MinQuanta
+// bit-identically to recompiling the changed problem from scratch, while
+// leaving the receiver untouched.
+func TestCompiledWithTaskMatchesRecompile(t *testing.T) {
+	pr := Problem{Tasks: task.PaperTaskSet(), Alg: analysis.EDF, O: UniformOverheads(0.05)}
+	cp, err := pr.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	guest := task.Task{Name: "guest", C: 0.2, T: 10, Mode: task.NF, Channel: 3}
+	grown, err := cp.WithTask(guest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WithTask normalises the newcomer; the oracle must see the same task.
+	grownPr := Problem{
+		Tasks: append(append(task.Set(nil), pr.Tasks...), guest.Normalized()),
+		Alg:   pr.Alg, O: pr.O,
+	}
+	fresh, err := grownPr.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range compileGrid(6.0, 200) {
+		if got, want := grown.MinQuanta(p), fresh.MinQuanta(p); got != want {
+			t.Fatalf("P=%g: incremental MinQuanta %+v, recompiled %+v", p, got, want)
+		}
+	}
+	for _, m := range task.Modes() {
+		for ch, prof := range grown.ChannelProfiles(m) {
+			if !prof.Equal(fresh.ChannelProfiles(m)[ch]) {
+				t.Fatalf("mode %s channel %d: incremental profile differs from recompile", m, ch)
+			}
+		}
+	}
+	if len(grown.Problem().Tasks) != len(pr.Tasks)+1 {
+		t.Fatal("grown problem should carry the guest")
+	}
+	if len(cp.Problem().Tasks) != len(pr.Tasks) {
+		t.Fatal("WithTask mutated the receiver's task set")
+	}
+	// And back out again.
+	back, err := grown.WithoutTask("guest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := pr.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range task.Modes() {
+		for ch, prof := range back.ChannelProfiles(m) {
+			if !prof.Equal(orig.ChannelProfiles(m)[ch]) {
+				t.Fatalf("mode %s channel %d: round-trip profile differs from original", m, ch)
+			}
+		}
+	}
+}
+
+// TestCompiledWithTaskErrors covers rejection paths: invalid tasks,
+// unknown and empty removal names.
+func TestCompiledWithTaskErrors(t *testing.T) {
+	pr := Problem{Tasks: task.PaperTaskSet(), Alg: analysis.EDF, O: UniformOverheads(0.05)}
+	cp, err := pr.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.WithTask(task.Task{Name: "bad", C: -1, T: 5}); err == nil {
+		t.Error("invalid task should be rejected")
+	}
+	if _, err := cp.WithoutTask("ghost"); err == nil {
+		t.Error("unknown name should be rejected")
+	}
+	if _, err := cp.WithoutTask(""); err == nil {
+		t.Error("empty name should be rejected")
+	}
+}

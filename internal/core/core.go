@@ -27,6 +27,17 @@ import (
 	"repro/internal/task"
 )
 
+// SlotFitTol is the tolerance every slot-fit boundary check uses when
+// comparing the slots' total against the period: a configuration with
+// Q_FT + Q_FS + Q_NF ≤ P + SlotFitTol fits. Configurations produced by
+// inverting the feasibility theorems sit exactly on the boundary, where
+// a strict comparison would flip on the last bit. One shared constant —
+// used by Config.Validate, both ConfigFor implementations and the online
+// admission controller — guarantees that a boundary configuration the
+// design layer accepts is never rejected when the identical reshape
+// arrives at run time.
+const SlotFitTol = 1e-9
+
 // PerMode holds one float64 per operating mode. It is used for slot
 // lengths, usable quanta, overheads and utilisations.
 type PerMode struct {
@@ -137,7 +148,7 @@ func (c Config) Validate() error {
 			return fmt.Errorf("core: slot Q_%s = %g shorter than its overhead %g", m, c.Q.Of(m), c.O.Of(m))
 		}
 	}
-	if c.Q.Total() > c.P+1e-9 {
+	if c.Q.Total() > c.P+SlotFitTol {
 		return fmt.Errorf("core: slots total %g exceed period %g", c.Q.Total(), c.P)
 	}
 	return nil
@@ -227,7 +238,7 @@ func (pr Problem) ConfigFor(p float64) (Config, error) {
 		},
 		O: pr.O,
 	}
-	if cfg.Q.Total() > p+1e-9 {
+	if cfg.Q.Total() > p+SlotFitTol {
 		return Config{}, fmt.Errorf("core: period %g infeasible: slots need %g", p, cfg.Q.Total())
 	}
 	return cfg, nil

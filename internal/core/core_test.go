@@ -272,3 +272,31 @@ func TestAllocatedUtilizationsNeverBelowRequired(t *testing.T) {
 		}
 	}
 }
+
+// TestSlotFitTolBoundary pins the shared slot-fit tolerance: a
+// configuration whose slots overrun the period by less than SlotFitTol
+// is structurally valid (boundary configurations produced by inverting
+// the theorems land here), while an overrun beyond it is rejected. The
+// same constant gates ConfigFor and the online admission controller, so
+// design-time and run-time acceptance can never disagree at the
+// boundary (see internal/online's regression test for the run-time
+// side).
+func TestSlotFitTolBoundary(t *testing.T) {
+	base := Config{P: 2, Q: PerMode{FT: 1, FS: 0.6, NF: 0.4}}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("exact fit rejected: %v", err)
+	}
+	within := base
+	within.Q.NF += 0.5 * SlotFitTol
+	if within.Q.Total() <= within.P {
+		t.Fatal("test construction: overrun did not materialise")
+	}
+	if err := within.Validate(); err != nil {
+		t.Errorf("overrun below SlotFitTol rejected: %v", err)
+	}
+	beyond := base
+	beyond.Q.NF += 10 * SlotFitTol
+	if err := beyond.Validate(); err == nil {
+		t.Error("overrun beyond SlotFitTol accepted")
+	}
+}

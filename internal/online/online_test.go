@@ -207,3 +207,122 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("configuration unverifiable after concurrent churn: %v", err)
 	}
 }
+
+// TestAdmitRejectsUnnamedTask pins the admission-semantics fix: an
+// anonymous task would bypass the duplicate check and be unremovable
+// (Remove addresses tasks by name), so Admit must reject it up front.
+func TestAdmitRejectsUnnamedTask(t *testing.T) {
+	m := maxFlexManager(t)
+	before := len(m.Tasks())
+	err := m.Admit(task.Task{C: 0.05, T: 12, Mode: task.NF, Channel: 0})
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("unnamed task should be rejected with ErrRejected, got %v", err)
+	}
+	if len(m.Tasks()) != before {
+		t.Error("rejected unnamed task changed the task set")
+	}
+	if err := m.Remove(""); err == nil {
+		t.Error("Remove by empty name should fail rather than pick an arbitrary task")
+	}
+}
+
+// TestManagerChurnProfilesBitIdentical is the run-time side of the
+// incremental-exactness property: after every successful admit/remove,
+// each cached channel profile must be bit-identical (pruned pairs) to a
+// fresh analysis.Compile of the channel's surviving tasks — including
+// remove-then-readmit round trips over the same names.
+func TestManagerChurnProfilesBitIdentical(t *testing.T) {
+	m := maxFlexManager(t)
+	rng := rand.New(rand.NewSource(31))
+	check := func(stage string) {
+		t.Helper()
+		tasks := m.Tasks()
+		for _, mode := range task.Modes() {
+			for ch, sub := range tasks.Channels(mode) {
+				fresh, err := analysis.Compile(sub, m.alg)
+				if err != nil {
+					t.Fatalf("%s: %v", stage, err)
+				}
+				if !m.profiles[mode][ch].Equal(fresh) {
+					t.Fatalf("%s: mode %s channel %d: cached profile not bit-identical to fresh Compile",
+						stage, mode, ch)
+				}
+			}
+		}
+	}
+	check("initial")
+	pool := []task.Task{
+		{Name: "g1", C: 0.1, T: 10, Mode: task.NF, Channel: 3},
+		{Name: "g2", C: 0.08, T: 8, D: 6, Mode: task.FS, Channel: 1},
+		{Name: "g3", C: 0.05, T: 12, Mode: task.NF, Channel: 0},
+		{Name: "g4", C: 0.1, T: 7, Mode: task.NF, Channel: 2}, // stretches the channel hyperperiod
+		{Name: "g5", C: 0.02, T: 4, D: 3, Mode: task.FS, Channel: 0},
+	}
+	for step := 0; step < 80; step++ {
+		g := pool[rng.Intn(len(pool))]
+		if _, present := m.Tasks().Find(g.Name); present {
+			if err := m.Remove(g.Name); err != nil {
+				t.Fatalf("step %d: remove %s: %v", step, g.Name, err)
+			}
+			check("remove " + g.Name)
+		} else if err := m.Admit(g); err == nil {
+			check("admit " + g.Name)
+		} else if !errors.Is(err, ErrRejected) {
+			t.Fatalf("step %d: unexpected error class: %v", step, err)
+		}
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("live configuration fails the theorem oracle after churn: %v", err)
+	}
+}
+
+// TestReshapeBoundaryToleranceMatchesDesign is the regression test for
+// the slot-fit tolerance mismatch: reshape used to reject with a 1e-12
+// tolerance while core.ConfigFor, Config.Validate and Problem.Verify
+// accept up to core.SlotFitTol = 1e-9, so a boundary configuration the
+// design layer accepts was rejected when the identical reshape arrived
+// online. The test manufactures an admission whose post-reshape slot
+// total lands strictly inside (P + 1e-12, P + SlotFitTol] — accepted by
+// design, formerly rejected online — and one beyond the shared
+// tolerance, which both layers must reject.
+func TestReshapeBoundaryToleranceMatchesDesign(t *testing.T) {
+	const P = 2.0
+	resident := task.Task{Name: "r1", C: 0.3, T: 3, D: 3, Mode: task.FT, Channel: 0}
+	guest := task.Task{Name: "guest", C: 0.2, T: 3, D: 3, Mode: task.FT, Channel: 0}
+	curProf, err := analysis.Compile(task.Set{resident}, analysis.EDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nextProf, err := analysis.Compile(task.Set{resident, guest}, analysis.EDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curSlot, newSlot := curProf.MinQ(P), nextProf.MinQ(P)
+	if newSlot <= curSlot {
+		t.Fatal("test construction: guest does not grow the slot")
+	}
+	// Build a manager whose FS slot is pure filler (no FS/NF tasks, zero
+	// overheads) sized so that admitting the guest drives the slot total
+	// to exactly P + eps.
+	tryAdmit := func(eps float64) (total float64, err error) {
+		filler := P + eps - newSlot
+		cfg := core.Config{P: P, Q: core.PerMode{FT: curSlot, FS: filler}}
+		pr := core.Problem{Tasks: task.Set{resident}, Alg: analysis.EDF}
+		m, err := NewManager(pr, cfg)
+		if err != nil {
+			t.Fatalf("eps=%g: initial manager rejected: %v", eps, err)
+		}
+		admitErr := m.Admit(guest)
+		return newSlot + filler, admitErr
+	}
+	total, err := tryAdmit(0.5 * core.SlotFitTol)
+	if total <= P+1e-12 || total > P+core.SlotFitTol {
+		t.Fatalf("test construction: total %x not in the regression window (P=%x)", total, P)
+	}
+	if err != nil {
+		t.Errorf("boundary reshape within SlotFitTol rejected online but accepted by design: %v", err)
+	}
+	if _, err := tryAdmit(10 * core.SlotFitTol); !errors.Is(err, ErrRejected) {
+		t.Errorf("reshape beyond SlotFitTol should be rejected, got %v", err)
+	}
+}

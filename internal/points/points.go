@@ -150,6 +150,40 @@ func Deadlines(s task.Set, horizon float64) ([]float64, error) {
 	return out, nil
 }
 
+// TaskDeadlines returns one task's absolute deadline stream restricted
+// to (0, horizon]: the points k·T + D for k ≥ 0, ascending. It generates
+// exactly the values task t contributes to Deadlines (same expression,
+// same floating-point results), so the incremental profile layer of
+// internal/analysis can merge or unmerge a single task's stream and stay
+// bit-identical to a full Deadlines rebuild. The task's period must be
+// positive (callers hold validated tasks; a non-positive period returns
+// nil rather than spinning).
+func TaskDeadlines(t task.Task, horizon float64) []float64 {
+	if t.T <= 0 {
+		return nil
+	}
+	n := 0
+	if t.D <= horizon {
+		n = int(math.Max(0, (horizon-t.D)/t.T)) + 1
+	}
+	out := make([]float64, 0, n)
+	for k := 0; ; k++ {
+		dl := float64(k)*t.T + t.D
+		if dl > horizon {
+			return out
+		}
+		if dl > 0 {
+			out = append(out, dl)
+		}
+	}
+}
+
+// MergeUnique merges two sorted ascending slices into a new slice,
+// dropping exact duplicates. Neither input is modified.
+func MergeUnique(a, b []float64) []float64 {
+	return mergeSortedUnique(a, b, nil)
+}
+
 // DenseGrid returns points {step, 2·step, …} up to and including horizon
 // (the last point is horizon itself even when not a multiple of step).
 // It exists as an exhaustive, slower alternative to the minimal sets

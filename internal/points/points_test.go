@@ -248,3 +248,67 @@ func assertEqual(t *testing.T, got, want []float64) {
 		}
 	}
 }
+
+// TestTaskDeadlinesMatchesDeadlines pins the bit-identity contract the
+// incremental profile layer relies on: a single task's stream is exactly
+// the Deadlines of its singleton set, and merging per-task streams
+// reproduces the k-way merged set.
+func TestTaskDeadlinesMatchesDeadlines(t *testing.T) {
+	tasks := task.Set{
+		{Name: "p", C: 1, T: 4, D: 3},
+		{Name: "q", C: 1, T: 6, D: 6},
+		{Name: "r", C: 1, T: 10, D: 2.5},
+	}
+	const horizon = 60
+	merged := []float64(nil)
+	for _, tk := range tasks {
+		stream := TaskDeadlines(tk, horizon)
+		single := mustDeadlines(t, task.Set{tk}, horizon)
+		if len(stream) != len(single) {
+			t.Fatalf("%s: stream %v, Deadlines %v", tk.Name, stream, single)
+		}
+		for i := range stream {
+			if stream[i] != single[i] {
+				t.Fatalf("%s: stream[%d] = %x, Deadlines = %x", tk.Name, i, stream[i], single[i])
+			}
+		}
+		merged = MergeUnique(merged, stream)
+	}
+	want := mustDeadlines(t, tasks, horizon)
+	if len(merged) != len(want) {
+		t.Fatalf("merged %v, want %v", merged, want)
+	}
+	for i := range want {
+		if merged[i] != want[i] {
+			t.Fatalf("merged[%d] = %x, want %x", i, merged[i], want[i])
+		}
+	}
+	if TaskDeadlines(task.Task{T: 0, D: 1}, 10) != nil {
+		t.Error("non-positive period should yield nil stream")
+	}
+	if got := TaskDeadlines(task.Task{T: 5, D: 12}, 10); len(got) != 0 {
+		t.Errorf("deadline beyond horizon should yield empty stream, got %v", got)
+	}
+}
+
+// TestTaskDeadlinesRandom cross-checks the stream generator against
+// Deadlines on random constrained-deadline tasks.
+func TestTaskDeadlinesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		tk := task.Task{
+			T: []float64{4, 5, 6, 7.5, 10, 12}[rng.Intn(6)],
+		}
+		tk.D = tk.T * (0.3 + 0.7*rng.Float64())
+		stream := TaskDeadlines(tk, 120)
+		single := mustDeadlines(t, task.Set{tk}, 120)
+		if len(stream) != len(single) {
+			t.Fatalf("T=%g D=%g: stream %v, Deadlines %v", tk.T, tk.D, stream, single)
+		}
+		for i := range stream {
+			if stream[i] != single[i] {
+				t.Fatalf("T=%g D=%g: stream[%d] = %x, Deadlines = %x", tk.T, tk.D, i, stream[i], single[i])
+			}
+		}
+	}
+}

@@ -245,43 +245,56 @@ func (s Set) Hyperperiod(den int64) (float64, error) {
 	if len(s) == 0 {
 		return 0, ErrEmptySet
 	}
-	periods := make([]float64, len(s))
-	for i, t := range s {
-		periods[i] = t.T
+	h := int64(1)
+	for _, t := range s {
+		p, err := timeu.ScaledPeriod(t.T, den)
+		if err != nil {
+			return 0, err
+		}
+		h = timeu.LCM(h, p)
 	}
-	return timeu.Hyperperiod(periods, den)
+	return float64(h) / float64(den), nil
 }
 
-// SortedRM returns a copy sorted by Rate Monotonic priority: shorter
-// period first; ties broken by shorter deadline, then by name, so the
-// order is deterministic.
+// LessRM reports whether a precedes b in Rate Monotonic priority order:
+// shorter period first; ties broken by shorter deadline, then by name,
+// so the order is deterministic. It is the comparator behind SortedRM,
+// exposed so that incremental consumers (analysis.Profile.WithTask) can
+// locate a task's priority position without re-sorting the whole set.
+func LessRM(a, b Task) bool {
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	if a.D != b.D {
+		return a.D < b.D
+	}
+	return a.Name < b.Name
+}
+
+// LessDM reports whether a precedes b in Deadline Monotonic priority
+// order: shorter relative deadline first; ties broken by period, then by
+// name. It is the comparator behind SortedDM.
+func LessDM(a, b Task) bool {
+	if a.D != b.D {
+		return a.D < b.D
+	}
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	return a.Name < b.Name
+}
+
+// SortedRM returns a copy sorted by Rate Monotonic priority (LessRM).
 func (s Set) SortedRM() Set {
 	out := append(Set(nil), s...)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].T != out[j].T {
-			return out[i].T < out[j].T
-		}
-		if out[i].D != out[j].D {
-			return out[i].D < out[j].D
-		}
-		return out[i].Name < out[j].Name
-	})
+	sort.SliceStable(out, func(i, j int) bool { return LessRM(out[i], out[j]) })
 	return out
 }
 
-// SortedDM returns a copy sorted by Deadline Monotonic priority: shorter
-// relative deadline first; ties broken by period, then by name.
+// SortedDM returns a copy sorted by Deadline Monotonic priority (LessDM).
 func (s Set) SortedDM() Set {
 	out := append(Set(nil), s...)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].D != out[j].D {
-			return out[i].D < out[j].D
-		}
-		if out[i].T != out[j].T {
-			return out[i].T < out[j].T
-		}
-		return out[i].Name < out[j].Name
-	})
+	sort.SliceStable(out, func(i, j int) bool { return LessDM(out[i], out[j]) })
 	return out
 }
 

@@ -90,25 +90,52 @@ func LCMAll(vs ...int64) int64 {
 // AlmostEqual reports whether a and b differ by at most tol.
 func AlmostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
-// Hyperperiod returns the least common multiple of the given float64
-// periods interpreted as rationals with the given denominator (periods
-// are multiplied by den and must then be integral to within 1e-9).
-// It returns an error if any period is not representable.
-func Hyperperiod(periods []float64, den int64) (float64, error) {
+// ScaledPeriod converts a float64 period to its integer numerator over
+// the given denominator: the period must be an integral multiple of
+// 1/den to within 1e-9 relative, and positive. It is the per-period
+// validation step of Hyperperiod, exposed so incremental consumers can
+// fold one more period into an integer hyperperiod without re-parsing
+// the whole set.
+func ScaledPeriod(p float64, den int64) (int64, error) {
+	scaled := p * float64(den)
+	r := math.Round(scaled)
+	if math.Abs(scaled-r) > 1e-9*math.Max(1, math.Abs(scaled)) {
+		return 0, fmt.Errorf("timeu: period %g is not a multiple of 1/%d", p, den)
+	}
+	if r <= 0 {
+		return 0, fmt.Errorf("timeu: period %g is not positive", p)
+	}
+	return int64(r), nil
+}
+
+// HyperperiodInt returns the least common multiple of the given float64
+// periods as an integer numerator over den (see ScaledPeriod). Integer
+// LCM is associative and commutative, so the result is independent of
+// the period order — the exactness anchor for incremental hyperperiod
+// updates.
+func HyperperiodInt(periods []float64, den int64) (int64, error) {
 	if den <= 0 {
 		return 0, fmt.Errorf("timeu: denominator must be positive, got %d", den)
 	}
 	h := int64(1)
 	for _, p := range periods {
-		scaled := p * float64(den)
-		r := math.Round(scaled)
-		if math.Abs(scaled-r) > 1e-9*math.Max(1, math.Abs(scaled)) {
-			return 0, fmt.Errorf("timeu: period %g is not a multiple of 1/%d", p, den)
+		r, err := ScaledPeriod(p, den)
+		if err != nil {
+			return 0, err
 		}
-		if r <= 0 {
-			return 0, fmt.Errorf("timeu: period %g is not positive", p)
-		}
-		h = LCM(h, int64(r))
+		h = LCM(h, r)
+	}
+	return h, nil
+}
+
+// Hyperperiod returns the least common multiple of the given float64
+// periods interpreted as rationals with the given denominator (periods
+// are multiplied by den and must then be integral to within 1e-9).
+// It returns an error if any period is not representable.
+func Hyperperiod(periods []float64, den int64) (float64, error) {
+	h, err := HyperperiodInt(periods, den)
+	if err != nil {
+		return 0, err
 	}
 	return float64(h) / float64(den), nil
 }

@@ -56,9 +56,24 @@ func UUniFast(rng *rand.Rand, n int, u float64) []float64 {
 	return out
 }
 
+// minC is the smallest computation time Generate emits: a zero or
+// negative UUniFast utilisation would otherwise produce an invalid task.
+const minC = 1e-3
+
 // Generate produces a valid task set per the config. Tasks are assigned
 // modes by ModeShare and channels round-robin within each mode (callers
 // usually re-partition with internal/partition).
+//
+// The generated set's total utilisation equals cfg.TotalUtilization to
+// within floating-point summation error: when validity clamps distort a
+// task (C floored to minC for a non-positive UUniFast draw, or C capped
+// at T for a per-task utilisation above 1), the deficit is
+// redistributed over the unclamped tasks so the requested total is
+// preserved instead of silently drifting. Seeds that need no clamp —
+// the common case — generate exactly the same sets they always did. A
+// target the clamps cannot reach (every task saturated, or below the
+// floors forced by non-positive draws) is reported as an error rather
+// than approximated.
 func Generate(cfg Config) (task.Set, error) {
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("workload: N = %d must be positive", cfg.N)
@@ -81,23 +96,39 @@ func Generate(cfg Config) (task.Set, error) {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	utils := UUniFast(rng, cfg.N, cfg.TotalUtilization)
+	// Draw all remaining random choices first, in the exact per-task
+	// order previous versions consumed the stream in, so seeds keep
+	// generating the same workloads. The deadline is stored as a fraction
+	// of [C, T] and materialised only after renormalisation settles C.
+	Ts := make([]float64, cfg.N)
+	dFrac := make([]float64, cfg.N)
+	modes := make([]task.Mode, cfg.N)
+	for i := range utils {
+		// Log-uniform period choice from the grid.
+		Ts[i] = periods[rng.Intn(len(periods))]
+		if cfg.ConstrainedDeadlines {
+			dFrac[i] = rng.Float64()
+		}
+		modes[i] = pickMode(rng, share, total)
+	}
+	floored, err := renormalize(utils, Ts, cfg.TotalUtilization)
+	if err != nil {
+		return nil, err
+	}
+
 	s := make(task.Set, 0, cfg.N)
 	nextChannel := map[task.Mode]int{}
 	for i, u := range utils {
-		// Log-uniform period choice from the grid.
-		T := periods[rng.Intn(len(periods))]
-		c := u * T
-		if c <= 0 {
-			c = 1e-3 // UUniFast can emit ~0 utilisations; keep tasks valid
-		}
-		if c > T {
-			c = T
+		T := Ts[i]
+		c := math.Min(u*T, T)
+		if floored[i] {
+			c = math.Min(minC, T) // degenerate sub-minC periods cap at T
 		}
 		d := T
 		if cfg.ConstrainedDeadlines {
-			d = c + rng.Float64()*(T-c)
+			d = c + dFrac[i]*(T-c)
 		}
-		m := pickMode(rng, share, total)
+		m := modes[i]
 		ch := nextChannel[m] % m.Channels()
 		nextChannel[m]++
 		s = append(s, task.Task{
@@ -110,6 +141,73 @@ func Generate(cfg Config) (task.Set, error) {
 		return nil, fmt.Errorf("workload: generated invalid set: %w", err)
 	}
 	return s, nil
+}
+
+// renormalize applies the validity clamps in utilisation space — a
+// non-positive draw is floored to minC/T (the task will get C = minC
+// exactly, as Generate always emitted), a draw above 1 is capped at 1
+// (C = T) — and, when any clamp fired, rescales the unclamped tasks so
+// the total still sums to target. The rescale can push further tasks
+// over the cap, so it repeats until the free set is stable (at most one
+// pass per task, as each pass clamps at least one more); rescaling down
+// never floors a positive task, since any positive C is valid. utils is
+// updated in place; the returned mask marks the floored tasks. When
+// nothing clamps — the common case — utils is left exactly as drawn.
+func renormalize(utils, Ts []float64, target float64) ([]bool, error) {
+	floored := make([]bool, len(utils))
+	clamped := make([]bool, len(utils))
+	anyClamped := false
+	for i, u := range utils {
+		// The clamp conditions mirror the c-space checks Generate always
+		// applied: c = u·T ≤ 0 floors, c > T caps.
+		switch c := u * Ts[i]; {
+		case c <= 0:
+			utils[i] = math.Min(minC/Ts[i], 1)
+			floored[i], clamped[i], anyClamped = true, true, true
+		case c > Ts[i]:
+			utils[i] = 1
+			clamped[i], anyClamped = true, true
+		}
+	}
+	if !anyClamped {
+		return floored, nil
+	}
+	for pass := 0; pass <= len(utils); pass++ {
+		fixed, free := 0.0, 0.0
+		for i, u := range utils {
+			if clamped[i] {
+				fixed += u
+			} else {
+				free += u
+			}
+		}
+		if free == 0 {
+			if math.Abs(fixed-target) <= 1e-9*math.Max(1, target) {
+				return floored, nil
+			}
+			return nil, fmt.Errorf("workload: total utilisation %g unreachable: clamps force %g", target, fixed)
+		}
+		f := (target - fixed) / free
+		if f <= 0 {
+			return nil, fmt.Errorf("workload: total utilisation %g unreachable: clamped tasks alone sum to %g", target, fixed)
+		}
+		again := false
+		for i, u := range utils {
+			if clamped[i] {
+				continue
+			}
+			if v := u * f; v > 1 {
+				utils[i] = 1
+				clamped[i], again = true, true
+			} else {
+				utils[i] = v
+			}
+		}
+		if !again {
+			return floored, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: renormalisation did not converge for total %g", target)
 }
 
 func pickMode(rng *rand.Rand, share struct{ FT, FS, NF float64 }, total float64) task.Mode {

@@ -167,3 +167,89 @@ func TestGenerateRoundRobinChannels(t *testing.T) {
 		}
 	}
 }
+
+// TestGenerateUtilizationInvariant pins the renormalisation fix: the
+// validity clamps (C floored to 1e-3, C capped at T) used to distort
+// per-task utilisations without compensation, so the generated set's
+// total could drift from the requested one. Configurations that force
+// heavy clamping — near-saturated totals split over few tasks — must now
+// still sum to the request within floating-point tolerance.
+func TestGenerateUtilizationInvariant(t *testing.T) {
+	cases := []Config{
+		{N: 5, TotalUtilization: 4.5, Seed: 1},   // forces u > 1 caps
+		{N: 5, TotalUtilization: 4.9, Seed: 2},   // nearly saturated
+		{N: 3, TotalUtilization: 2.8, Seed: 3},   // caps with few free tasks
+		{N: 20, TotalUtilization: 0.01, Seed: 4}, // tiny utilisations near the floor
+		{N: 50, TotalUtilization: 6, Seed: 5},    // benchmark-scale config
+		{N: 10, TotalUtilization: 9.5, ConstrainedDeadlines: true, Seed: 6},
+	}
+	for _, cfg := range cases {
+		s, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("N=%d U=%g: %v", cfg.N, cfg.TotalUtilization, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("N=%d U=%g: invalid set: %v", cfg.N, cfg.TotalUtilization, err)
+		}
+		if got := s.Utilization(); math.Abs(got-cfg.TotalUtilization) > 1e-9 {
+			t.Errorf("N=%d U=%g seed=%d: generated utilisation %.12f drifted by %g",
+				cfg.N, cfg.TotalUtilization, cfg.Seed, got, got-cfg.TotalUtilization)
+		}
+	}
+}
+
+// TestGenerateTinyUtilization: tiny positive targets are reachable
+// (positive draws can shrink arbitrarily — any positive C is valid) and
+// still renormalize exactly.
+func TestGenerateTinyUtilization(t *testing.T) {
+	s, err := Generate(Config{N: 10, TotalUtilization: 1e-7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Utilization(); math.Abs(got-1e-7) > 1e-15 {
+		t.Errorf("tiny target drifted: %g", got)
+	}
+}
+
+// TestRenormalizeUnreachable: when every task is clamped and the fixed
+// sum misses the target — here all draws are non-positive, so all tasks
+// sit on their minC floors — the mismatch must be reported, not
+// silently approximated.
+func TestRenormalizeUnreachable(t *testing.T) {
+	if _, err := renormalize([]float64{0, 0}, []float64{4, 4}, 1e-9); err == nil {
+		t.Error("all-floored set missing the target should error")
+	}
+}
+
+// TestGenerateUnclampedSeedsUnchanged: when no clamp fires the generator
+// must emit exactly what it always did, so seeds keep reproducing
+// published experiments.
+func TestGenerateUnclampedSeedsUnchanged(t *testing.T) {
+	s, err := Generate(Config{N: 10, TotalUtilization: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check against values generated before the renormalisation
+	// change (same seed, same rng consumption order).
+	if s[0].T != 8 || math.Abs(s[0].C-1.66044269069419) > 1e-12 {
+		t.Errorf("seed 42 task 0 drifted: C=%.14f T=%g", s[0].C, s[0].T)
+	}
+	if got := s.Utilization(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("seed 42 utilisation %g, want 2", got)
+	}
+}
+
+// TestGenerateSubMillisecondPeriods: a degenerate grid with periods
+// below the minC floor must still emit valid tasks (C capped at T), as
+// the pre-renormalisation generator did.
+func TestGenerateSubMillisecondPeriods(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		s, err := Generate(Config{N: 4, TotalUtilization: 2, Periods: []float64{5e-4}, Seed: seed})
+		if err != nil {
+			continue // unreachable targets may legitimately error
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("seed %d: invalid set: %v", seed, verr)
+		}
+	}
+}
