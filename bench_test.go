@@ -546,6 +546,166 @@ func BenchmarkAdmitRemoveChurn(b *testing.B) {
 	})
 }
 
+// BenchmarkBatchAdmission is the tentpole measurement of the batched
+// admission path: one AdmitBatch/RemoveBatch round trip of k = 8 guests
+// on a 20-task channel versus the same 8 guests admitted and removed
+// sequentially. The batch patches the channel profile once (one stream
+// merge, one envelope re-prune for the group) and swaps the
+// configuration once, where the sequential path pays the per-event cost
+// 8 times. The profile sub-benchmarks isolate the analysis-layer share
+// of the win (WithTasks versus the WithTask fold).
+func BenchmarkBatchAdmission(b *testing.B) {
+	const channelTasks = 20
+	ch := churnChannel(b, channelTasks)
+	pr := Problem{Tasks: ch, Alg: EDF}
+	periods := []float64{5, 6, 8, 10, 12, 15, 20, 30} // all on the channel's grid
+	guests := make([]Task, len(periods))
+	names := make([]string, len(periods))
+	for i, T := range periods {
+		guests[i] = Task{Name: fmt.Sprintf("batch-g%d", i), C: 0.01, T: T, D: T, Mode: FT, Channel: 0}
+		names[i] = guests[i].Name
+	}
+	newMgr := func(b *testing.B) *OnlineManager {
+		b.Helper()
+		cfg, err := pr.ConfigFor(2.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr, err := NewOnlineManager(pr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return mgr
+	}
+	b.Run("manager/batch-k=8", func(b *testing.B) {
+		mgr := newMgr(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := mgr.AdmitBatch(guests); err != nil {
+				b.Fatal(err)
+			}
+			if err := mgr.RemoveBatch(names); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("manager/sequential-k=8", func(b *testing.B) {
+		mgr := newMgr(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, g := range guests {
+				if err := mgr.Admit(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, name := range names {
+				if err := mgr.Remove(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	pf, err := analysis.Compile(ch, EDF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("profile/batch-k=8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			grown, err := pf.WithTasks(guests)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := grown.WithoutTasks(guests); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("profile/sequential-k=8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			grown := pf
+			var err error
+			for _, g := range guests {
+				if grown, err = grown.WithTask(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, g := range guests {
+				if grown, err = grown.WithoutTask(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkShardedChurn measures concurrent admission traffic on the
+// sharded manager: every worker churns its own guest, either spread
+// over the four NF channels (disjoint shards — profile patches run
+// concurrently, only the decide-and-swap serialises) or all contending
+// for channel 0 (the per-channel lock serialises everything, the
+// pre-sharding behaviour for any traffic mix). A single-core runner
+// shows the two close together; with parallelism the spread variant
+// pulls ahead.
+func BenchmarkShardedChurn(b *testing.B) {
+	src, err := workload.Generate(workload.Config{
+		N:                40,
+		TotalUtilization: 2.0,
+		Periods:          []float64{4, 5, 6, 8, 10, 12, 15, 20, 30, 60},
+		Seed:             19,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := make(TaskSet, len(src))
+	for i, tk := range src {
+		tk.Mode, tk.Channel = NF, i%4
+		tasks[i] = tk
+	}
+	pr := Problem{Tasks: tasks, Alg: EDF}
+	for _, spread := range []bool{true, false} {
+		name := "spread-4-channels"
+		if !spread {
+			name = "contended-1-channel"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg, err := pr.ConfigFor(2.0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mgr, err := NewOnlineManager(pr, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var worker atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(worker.Add(1)) - 1
+				channel := 0
+				if spread {
+					channel = w % 4
+				}
+				guest := Task{Name: fmt.Sprintf("churn-w%d", w), C: 0.01, T: 12, D: 12, Mode: NF, Channel: channel}
+				names := []string{guest.Name}
+				batch := []Task{guest}
+				for pb.Next() {
+					if err := mgr.AdmitBatch(batch); err != nil {
+						b.Error(err)
+						return
+					}
+					if err := mgr.RemoveBatch(names); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkOnlineAdmission measures one admit/remove reconfiguration
 // cycle on the live max-flexibility design.
 func BenchmarkOnlineAdmission(b *testing.B) {

@@ -26,14 +26,21 @@
 //     patch one task's deadline stream in or out and re-prune, staying
 //     bit-identical to a fresh compile, so "what if this task joined
 //     channel i" costs the newcomer's own deadlines rather than a
-//     channel recompilation;
+//     channel recompilation; the batched WithTasks/WithoutTasks patch a
+//     whole group with one stream merge and one envelope re-prune;
 //   - internal/region, internal/design: Figure 4 exploration and the
 //     two design goals of Table 2;
 //   - internal/partition, internal/workload: automatic channel
 //     assignment and synthetic workload generation;
 //   - internal/online: the run-time admission controller of the paper's
 //     second design goal, built on the incremental profiles so each
-//     admit or release costs the change, not the channel;
+//     admit or release costs the change, not the channel. The manager
+//     is batched (AdmitBatch/RemoveBatch: all-or-nothing groups, one
+//     reshape and one configuration swap per batch), sharded
+//     (per-channel locks, so disjoint channels reconfigure
+//     concurrently) and read-optimised (Config/Slack/Tasks are served
+//     lock-free from atomically swapped snapshots), with a
+//     consolidation policy bounding long-run memory under churn;
 //   - internal/platform, internal/faults, internal/sim,
 //     internal/recovery, internal/trace: the executable platform model
 //     with fault injection and recovery policies;

@@ -7,9 +7,12 @@
 // convenient to shrink or enlarge the time quanta").
 //
 // The example deploys the paper's task set with the max-flexibility
-// configuration, then admits a stream of arriving tasks until the slack
-// is exhausted, releases one, and admits again — verifying the
-// guarantees after every reconfiguration by simulating the live system.
+// configuration and reconfigures it with the batched admission API:
+// a burst of arrivals lands as one all-or-nothing AdmitBatch (one
+// reshape, one configuration swap, instead of one per task), an
+// oversized arrival is rejected with the slot arithmetic spelled out,
+// and a RemoveBatch reclaims enough slack to retry it. The guarantees
+// of the live system are then verified by simulating it.
 //
 // Run with: go run ./examples/dynamicworkload
 package main
@@ -30,46 +33,69 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mgr, err := repro.NewOnlineManager(pr, sol.Config)
+	// Compile the problem once and build the manager from that
+	// compilation: the same CompiledProblem can also serve sweeps,
+	// what-if queries or sibling managers, and the manager copies what
+	// it will mutate, so churn leaves it pristine.
+	cp, err := repro.Compile(pr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := repro.NewOnlineManagerFromCompiled(cp, sol.Config)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("deployed max-flexibility design: P = %.3f, slack = %.4f (%.1f%% of bandwidth)\n\n",
 		sol.Config.P, mgr.Slack(), 100*mgr.Slack()/sol.Config.P)
 
-	arrivals := []repro.Task{
+	// A burst of arrivals: admitted as ONE batch — one candidate set,
+	// one reshape per touched mode, one configuration swap. Either the
+	// whole burst fits or nothing changes.
+	burst := []repro.Task{
 		{Name: "telemetry", C: 0.4, T: 10, Mode: repro.NF, Channel: 3},
 		{Name: "watchdog", C: 0.3, T: 8, Mode: repro.FS, Channel: 1},
 		{Name: "self-test", C: 0.5, T: 15, Mode: repro.FT, Channel: 0},
 		{Name: "logger", C: 0.6, T: 12, Mode: repro.NF, Channel: 2},
-		{Name: "audit", C: 1.0, T: 10, Mode: repro.FT, Channel: 0},
 	}
-	for _, tk := range arrivals {
-		err := mgr.Admit(tk)
-		switch {
-		case err == nil:
-			fmt.Printf("admit %-10s (%s, C=%.1f, T=%.0f): accepted, slack now %.4f\n",
-				tk.Name, tk.Mode, tk.C, tk.T, mgr.Slack())
-		case errors.Is(err, repro.ErrAdmissionRejected):
-			fmt.Printf("admit %-10s (%s, C=%.1f, T=%.0f): REJECTED — insufficient slack\n",
-				tk.Name, tk.Mode, tk.C, tk.T)
-		default:
-			log.Fatal(err)
-		}
+	if err := mgr.AdmitBatch(burst); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admitted a burst of %d arrivals in one reconfiguration:\n", len(burst))
+	for _, tk := range burst {
+		fmt.Printf("  %-10s (%s, C=%.1f, T=%.0f)\n", tk.Name, tk.Mode, tk.C, tk.T)
+	}
+	fmt.Printf("slack now %.4f\n\n", mgr.Slack())
+
+	audit := repro.Task{Name: "audit", C: 1.0, T: 10, Mode: repro.FT, Channel: 0}
+	err = mgr.Admit(audit)
+	switch {
+	case err == nil:
+		fmt.Printf("admit %s: accepted, slack now %.4f\n", audit.Name, mgr.Slack())
+	case errors.Is(err, repro.ErrAdmissionRejected):
+		// The rejection reports the slot the mode asked for next to the
+		// maximum it could take at this period.
+		fmt.Printf("admit %s: %v\n", audit.Name, err)
+	default:
+		log.Fatal(err)
 	}
 
 	fmt.Println()
-	fmt.Println("releasing tau9 (the heaviest fail-silent task)...")
-	if err := mgr.Remove("tau9"); err != nil {
+	fmt.Println("releasing the two heaviest fail-silent tasks (tau8, tau9) in one batch to make room...")
+	if err := mgr.RemoveBatch([]string{"tau8", "tau9"}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("slack reclaimed: %.4f\n", mgr.Slack())
 	fmt.Println("retrying the rejected arrival...")
-	if err := mgr.Admit(repro.Task{Name: "audit", C: 1.0, T: 10, Mode: repro.FT, Channel: 0}); err != nil {
+	if err := mgr.Admit(audit); err != nil {
 		fmt.Printf("audit still rejected: %v\n", err)
 	} else {
 		fmt.Printf("audit admitted, slack now %.4f\n", mgr.Slack())
 	}
+
+	// Long-lived managers under churn retain incremental-update state;
+	// consolidation rebuilds it from scratch (bit-identically) to keep
+	// the footprint proportional to the live set.
+	fmt.Printf("\nconsolidated %d channel profiles after the churn\n", mgr.Consolidate())
 
 	// Prove the live system still holds its guarantees: simulate the
 	// current task set on the current configuration.

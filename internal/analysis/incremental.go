@@ -339,6 +339,366 @@ func (pf *Profile) withoutTaskFP(t task.Task) (*Profile, error) {
 	return next, nil
 }
 
+// WithTasks returns a new profile for the compiled set plus every task
+// in add, in order — bit-identical (retained streams included) to
+// folding WithTask over add — but the batch pays the expensive steps
+// once instead of len(add) times: the newcomers' deadline streams are
+// merged into the retained stream in one pass, the prefix-row matrix is
+// extended once, and the dominance envelope is re-pruned exactly once
+// (EDF); for RM/DM the priority suffix below the highest-priority
+// newcomer is rebuilt once instead of once per insertion. The receiver
+// is unchanged and shares unmodified state with the result. An empty
+// batch returns the receiver.
+func (pf *Profile) WithTasks(add []task.Task) (*Profile, error) {
+	for _, t := range add {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("analysis: WithTasks: %w", err)
+		}
+	}
+	if len(add) == 0 {
+		return pf, nil
+	}
+	switch pf.alg {
+	case EDF:
+		return pf.withTasksEDF(add)
+	case RM, DM:
+		return pf.withTasksFP(add)
+	}
+	return nil, fmt.Errorf("analysis: WithTasks: unknown algorithm %s", pf.alg)
+}
+
+// WithoutTasks returns a new profile for the compiled set minus every
+// task in rem, equivalent to folding WithoutTask over rem but with one
+// stream compaction, one suffix re-accumulation and one envelope
+// re-prune for the whole batch. Every task must be present (exact field
+// equality; a value listed twice must be present twice). The receiver is
+// unchanged; an empty batch returns it.
+func (pf *Profile) WithoutTasks(rem []task.Task) (*Profile, error) {
+	if len(rem) == 0 {
+		return pf, nil
+	}
+	switch pf.alg {
+	case EDF:
+		return pf.withoutTasksEDF(rem)
+	case RM, DM:
+		return pf.withoutTasksFP(rem)
+	}
+	return nil, fmt.Errorf("analysis: WithoutTasks: unknown algorithm %s", pf.alg)
+}
+
+func (pf *Profile) withTasksEDF(add []task.Task) (*Profile, error) {
+	cand := append(append(make(task.Set, 0, len(pf.tasks)+len(add)), pf.tasks...), add...)
+	if len(pf.tasks) == 0 {
+		return Compile(cand, EDF)
+	}
+	scaledAdd := make([]int64, len(add))
+	hInt := pf.horizonInt
+	for i, t := range add {
+		p, err := timeu.ScaledPeriod(t.T, HyperperiodDenominator)
+		if err != nil {
+			return nil, err
+		}
+		scaledAdd[i] = p
+		hInt = timeu.LCM(hInt, p)
+	}
+	if hInt != pf.horizonInt {
+		// A newcomer stretches the hyperperiod, so every existing stream
+		// extends and patching has no advantage — the same fallback the
+		// sequential fold takes when it reaches that task. (Integer LCM is
+		// order-independent, so the folded hyperperiod matches a fresh
+		// Compile of the whole candidate.)
+		return Compile(cand, EDF)
+	}
+	n, k := len(pf.tasks), len(add)
+	next := &Profile{alg: EDF, tasks: cand, horizon: pf.horizon, horizonInt: pf.horizonInt}
+	next.scaled = append(append(make([]int64, 0, n+k), pf.scaled...), scaledAdd...)
+	// Union of the newcomers' deadline streams: the single merge input.
+	var union []float64
+	for _, t := range add {
+		union = points.MergeUnique(union, points.TaskDeadlines(t, pf.horizon))
+	}
+	// Walk the union against the retained stream, counting brand-new
+	// scheduling points.
+	missing := 0
+	i := 0
+	for _, x := range union {
+		for i < len(pf.ts) && pf.ts[i] < x {
+			i++
+		}
+		if i < len(pf.ts) && pf.ts[i] == x {
+			i++
+		} else {
+			missing++
+		}
+	}
+	if missing == 0 {
+		// Every newcomer deadline already is a scheduling point: share the
+		// stream and all existing prefix rows, append k new rows.
+		next.ts = pf.ts
+		next.owners = append(make([]int32, 0, len(pf.ts)), pf.owners...)
+		next.pre = make([][]float64, n+k)
+		copy(next.pre, pf.pre)
+		rows := prefixRows(k, len(pf.ts))
+		for j := range rows {
+			next.pre[n+j] = rows[j]
+		}
+	} else {
+		next.ts = points.MergeUnique(pf.ts, union)
+		N := len(next.ts)
+		next.owners = make([]int32, N)
+		next.pre = prefixRows(n+k, N)
+		// Mark the merged positions: inserted points get fresh prefix
+		// columns, runs of retained points get block copies per row.
+		inserted := make([]int, 0, missing)
+		i := 0
+		for p, x := range next.ts {
+			if i < len(pf.ts) && pf.ts[i] == x {
+				next.owners[p] = pf.owners[i]
+				i++
+			} else {
+				inserted = append(inserted, p)
+			}
+		}
+		for r := 0; r < n; r++ {
+			dst, src := next.pre[r], pf.pre[r]
+			from, at := 0, 0
+			for _, p := range inserted {
+				copy(dst[at:p], src[from:from+(p-at)])
+				from += p - at
+				at = p + 1
+			}
+			copy(dst[at:], src[from:])
+		}
+		for _, p := range inserted {
+			// A brand-new point: accumulate the old set's prefix demand
+			// exactly as a fresh Compile would.
+			x := next.ts[p]
+			w := 0.0
+			for r, tk := range pf.tasks {
+				w += demandTerm(tk, x)
+				next.pre[r][p] = w
+			}
+		}
+	}
+	// Bump owner counts for each newcomer's own stream.
+	for _, t := range add {
+		i := 0
+		for _, x := range points.TaskDeadlines(t, pf.horizon) {
+			for next.ts[i] != x {
+				i++
+			}
+			next.owners[i]++
+			i++
+		}
+	}
+	// Append the k new prefix rows, each the left-fold continuation of
+	// the one before — the exact partial sums a sequential fold builds.
+	base := next.pre[n-1]
+	for j, t := range add {
+		row := next.pre[n+j]
+		for p, x := range next.ts {
+			row[p] = base[p] + demandTerm(t, x)
+		}
+		base = row
+	}
+	next.edf, next.rankKeys = envelopePairs(next.ts, next.pre[n+k-1], pf.rankKeys)
+	return next, nil
+}
+
+func (pf *Profile) withoutTasksEDF(rem []task.Task) (*Profile, error) {
+	// Locate every departing task; a value listed twice must match two
+	// distinct (identical-valued) entries.
+	used := make([]bool, len(pf.tasks))
+	minIdx := len(pf.tasks)
+	for _, t := range rem {
+		found := -1
+		for i := range pf.tasks {
+			if !used[i] && pf.tasks[i] == t {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("analysis: WithoutTasks: task %q not in profile", t.Name)
+		}
+		used[found] = true
+		if found < minIdx {
+			minIdx = found
+		}
+	}
+	surv := make(task.Set, 0, len(pf.tasks)-len(rem))
+	for i, tk := range pf.tasks {
+		if !used[i] {
+			surv = append(surv, tk)
+		}
+	}
+	if len(surv) == 0 {
+		return Compile(nil, EDF)
+	}
+	// Re-fold the surviving hyperperiod from the cached scaled periods.
+	hInt := int64(1)
+	for i, p := range pf.scaled {
+		if !used[i] {
+			hInt = timeu.LCM(hInt, p)
+		}
+	}
+	if hInt != pf.horizonInt {
+		// A departing task carried the hyperperiod; the whole stream
+		// re-ranges, so patching has no advantage.
+		return Compile(surv, EDF)
+	}
+	n := len(surv)
+	next := &Profile{alg: EDF, tasks: surv, horizon: pf.horizon, horizonInt: hInt}
+	next.scaled = make([]int64, 0, n)
+	for i, p := range pf.scaled {
+		if !used[i] {
+			next.scaled = append(next.scaled, p)
+		}
+	}
+	// Decrement owner counts once per departing stream; points whose
+	// count reaches zero drop out of the stream. The bounds guard turns
+	// an invariant violation into a fresh compile instead of a panic.
+	owners := append(make([]int32, 0, len(pf.ts)), pf.owners...)
+	drops := 0
+	for _, t := range rem {
+		i := 0
+		for _, x := range points.TaskDeadlines(t, pf.horizon) {
+			for i < len(pf.ts) && pf.ts[i] != x {
+				i++
+			}
+			if i == len(pf.ts) {
+				return Compile(surv, EDF)
+			}
+			if owners[i]--; owners[i] == 0 {
+				drops++
+			}
+			i++
+		}
+	}
+	// Rows strictly above the first removed position keep their prefix
+	// sets and are shared (or block-copied around dropped points); the
+	// suffix re-accumulates once for the whole batch.
+	keep := minIdx
+	if keep > n {
+		keep = n
+	}
+	next.pre = make([][]float64, n)
+	if drops == 0 {
+		next.ts = pf.ts
+		next.owners = owners
+		copy(next.pre, pf.pre[:keep])
+	} else {
+		N := len(pf.ts) - drops
+		next.ts = make([]float64, N)
+		next.owners = make([]int32, N)
+		rows := prefixRows(keep, N)
+		from, at := 0, 0
+		flush := func(until int) {
+			copy(next.ts[at:], pf.ts[from:until])
+			copy(next.owners[at:], owners[from:until])
+			for r := 0; r < keep; r++ {
+				copy(rows[r][at:], pf.pre[r][from:until])
+			}
+			at += until - from
+			from = until
+		}
+		for p, c := range owners {
+			if c == 0 {
+				flush(p)
+				from = p + 1 // skip the dropped point
+			}
+		}
+		flush(len(pf.ts))
+		copy(next.pre, rows)
+	}
+	suffix := prefixRows(n-keep, len(next.ts))
+	for r := keep; r < n; r++ {
+		row := suffix[r-keep]
+		tk := surv[r]
+		if r == 0 {
+			for p, x := range next.ts {
+				row[p] = demandTerm(tk, x)
+			}
+		} else {
+			base := next.pre[r-1]
+			for p, x := range next.ts {
+				row[p] = base[p] + demandTerm(tk, x)
+			}
+		}
+		next.pre[r] = row
+	}
+	next.edf, next.rankKeys = envelopePairs(next.ts, next.pre[n-1], pf.rankKeys)
+	return next, nil
+}
+
+func (pf *Profile) withTasksFP(add []task.Task) (*Profile, error) {
+	// Sort the newcomers by priority (stable, so equal-priority newcomers
+	// keep their batch order, matching the sequential upper-bound
+	// insertions), then merge into the priority-ordered compiled set with
+	// existing tasks first on exact ties — the position sequence a fold
+	// of withTaskFP produces.
+	sorted := append(make(task.Set, 0, len(add)), add...)
+	sort.SliceStable(sorted, func(i, j int) bool { return pf.alg.priorityLess(sorted[i], sorted[j]) })
+	ordered := make(task.Set, 0, len(pf.tasks)+len(sorted))
+	first := -1
+	i, j := 0, 0
+	for i < len(pf.tasks) || j < len(sorted) {
+		if j == len(sorted) || (i < len(pf.tasks) && !pf.alg.priorityLess(sorted[j], pf.tasks[i])) {
+			ordered = append(ordered, pf.tasks[i])
+			i++
+		} else {
+			if first < 0 {
+				first = len(ordered)
+			}
+			ordered = append(ordered, sorted[j])
+			j++
+		}
+	}
+	next := &Profile{alg: pf.alg, tasks: ordered}
+	next.fp = make([][]pair, len(ordered))
+	// Levels above the highest-priority newcomer keep their
+	// higher-priority sets: share; rebuild the suffix once.
+	copy(next.fp, pf.fp[:first])
+	for i := first; i < len(ordered); i++ {
+		next.fp[i] = compileFPRow(ordered[:i], ordered[i])
+	}
+	return next, nil
+}
+
+func (pf *Profile) withoutTasksFP(rem []task.Task) (*Profile, error) {
+	used := make([]bool, len(pf.tasks))
+	first := len(pf.tasks)
+	for _, t := range rem {
+		found := -1
+		for i := range pf.tasks {
+			if !used[i] && pf.tasks[i] == t {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("analysis: WithoutTasks: task %q not in profile", t.Name)
+		}
+		used[found] = true
+		if found < first {
+			first = found
+		}
+	}
+	ordered := make(task.Set, 0, len(pf.tasks)-len(rem))
+	for i, tk := range pf.tasks {
+		if !used[i] {
+			ordered = append(ordered, tk)
+		}
+	}
+	next := &Profile{alg: pf.alg, tasks: ordered}
+	next.fp = make([][]pair, len(ordered))
+	copy(next.fp, pf.fp[:first])
+	for i := first; i < len(ordered); i++ {
+		next.fp[i] = compileFPRow(ordered[:i], ordered[i])
+	}
+	return next, nil
+}
+
 // priorityLess is the strict priority order of a fixed-priority Alg —
 // the comparator task.SortedRM / SortedDM sort by.
 func (a Alg) priorityLess(x, y task.Task) bool {
@@ -357,4 +717,3 @@ func (pf *Profile) indexOf(t task.Task) int {
 	}
 	return -1
 }
-

@@ -169,6 +169,104 @@ func (cp *CompiledProblem) WithoutTask(name string) (*CompiledProblem, error) {
 	return next, nil
 }
 
+// WithTasks returns a compiled problem for the problem's task set plus
+// every task in add (normalised, in order). It is the batched WithTask:
+// the batch is grouped by (mode, channel) and each touched channel's
+// profile is patched once with analysis.Profile.WithTasks — one stream
+// merge and one envelope re-prune per channel instead of one per task —
+// while untouched channels share their profiles with the receiver. The
+// whole batch is validated up front (names present, unique within the
+// batch, absent from the problem), so the result is all-or-nothing and
+// the receiver is never modified.
+func (cp *CompiledProblem) WithTasks(add []task.Task) (*CompiledProblem, error) {
+	if len(add) == 0 {
+		return cp, nil
+	}
+	norm := make(task.Set, len(add))
+	seen := make(map[string]bool, len(add))
+	for i, t := range add {
+		t = t.Normalized()
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("core: WithTasks: %w", err)
+		}
+		if t.Name == "" {
+			return nil, fmt.Errorf("core: WithTasks: task must have a name (WithoutTasks removes by name)")
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("core: WithTasks: task %q listed twice in the batch", t.Name)
+		}
+		seen[t.Name] = true
+		if _, exists := cp.pr.Tasks.Find(t.Name); exists {
+			return nil, fmt.Errorf("core: WithTasks: task %q already present", t.Name)
+		}
+		norm[i] = t
+	}
+	next := cp.shallowClone()
+	next.pr.Tasks = append(next.pr.Tasks, norm...)
+	for _, m := range task.Modes() {
+		for ch := range next.profiles[m] {
+			group := norm.ByChannel(m, ch)
+			if len(group) == 0 {
+				continue
+			}
+			prof, err := next.profiles[m][ch].WithTasks(group)
+			if err != nil {
+				return nil, fmt.Errorf("core: WithTasks: mode %s channel %d: %w", m, ch, err)
+			}
+			next.profiles[m][ch] = prof
+		}
+	}
+	return next, nil
+}
+
+// WithoutTasks returns a compiled problem for the problem's task set
+// minus the named tasks, patching each touched channel's profile once
+// for its whole departing group. Every name must be present and listed
+// once; the receiver is unchanged.
+func (cp *CompiledProblem) WithoutTasks(names []string) (*CompiledProblem, error) {
+	if len(names) == 0 {
+		return cp, nil
+	}
+	gone := make(map[string]bool, len(names))
+	victims := make(task.Set, 0, len(names))
+	for _, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("core: WithoutTasks: empty task name")
+		}
+		if gone[name] {
+			return nil, fmt.Errorf("core: WithoutTasks: task %q listed twice in the batch", name)
+		}
+		t, ok := cp.pr.Tasks.Find(name)
+		if !ok {
+			return nil, fmt.Errorf("core: WithoutTasks: no task %q", name)
+		}
+		gone[name] = true
+		victims = append(victims, t)
+	}
+	next := cp.shallowClone()
+	surv := next.pr.Tasks[:0]
+	for _, t := range next.pr.Tasks {
+		if !gone[t.Name] {
+			surv = append(surv, t)
+		}
+	}
+	next.pr.Tasks = surv
+	for _, m := range task.Modes() {
+		for ch := range next.profiles[m] {
+			group := victims.ByChannel(m, ch)
+			if len(group) == 0 {
+				continue
+			}
+			prof, err := next.profiles[m][ch].WithoutTasks(group)
+			if err != nil {
+				return nil, fmt.Errorf("core: WithoutTasks: mode %s channel %d: %w", m, ch, err)
+			}
+			next.profiles[m][ch] = prof
+		}
+	}
+	return next, nil
+}
+
 // shallowClone copies the task slice and the per-mode profile slices;
 // the profiles themselves are immutable and shared.
 func (cp *CompiledProblem) shallowClone() *CompiledProblem {

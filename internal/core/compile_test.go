@@ -193,3 +193,119 @@ func TestCompiledWithTaskErrors(t *testing.T) {
 		t.Error("empty name should be rejected")
 	}
 }
+
+// TestCompiledWithTasksMatchesSequential checks the batched what-if
+// API: WithTasks/WithoutTasks must produce per-channel profiles
+// bit-identical to folding the singular WithTask/WithoutTask over the
+// batch (and hence to a fresh compile), leave the receiver untouched,
+// and round-trip back to the original problem.
+func TestCompiledWithTasksMatchesSequential(t *testing.T) {
+	for _, alg := range []analysis.Alg{analysis.EDF, analysis.RM} {
+		pr := Problem{Tasks: task.PaperTaskSet(), Alg: alg, O: UniformOverheads(0.05)}
+		cp, err := pr.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := []task.Task{
+			{Name: "b1", C: 0.2, T: 10, Mode: task.NF, Channel: 3},
+			{Name: "b2", C: 0.1, T: 8, Mode: task.NF, Channel: 3}, // same channel as b1
+			{Name: "b3", C: 0.1, T: 12, Mode: task.FS, Channel: 1},
+			{Name: "b4", C: 0.3, T: 15, D: 9, Mode: task.FT, Channel: 0},
+		}
+		grown, err := cp.WithTasks(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := cp
+		for _, tk := range batch {
+			if seq, err = seq.WithTask(tk); err != nil {
+				t.Fatalf("%s: WithTask(%s): %v", alg, tk.Name, err)
+			}
+		}
+		for _, m := range task.Modes() {
+			seqProfs := seq.ChannelProfiles(m)
+			for ch, prof := range grown.ChannelProfiles(m) {
+				if !prof.Equal(seqProfs[ch]) {
+					t.Fatalf("%s: mode %s channel %d: batched profile differs from sequential fold", alg, m, ch)
+				}
+			}
+		}
+		for i, tk := range grown.Problem().Tasks {
+			if i < len(pr.Tasks) {
+				continue
+			}
+			if want := batch[i-len(pr.Tasks)].Normalized(); tk != want {
+				t.Fatalf("%s: grown task %d = %+v, want %+v", alg, i, tk, want)
+			}
+		}
+		for _, p := range compileGrid(6.0, 50) {
+			if got, want := grown.MinQuanta(p), seq.MinQuanta(p); got != want {
+				t.Fatalf("%s P=%g: batched MinQuanta %+v, sequential %+v", alg, p, got, want)
+			}
+		}
+		if len(cp.Problem().Tasks) != len(pr.Tasks) {
+			t.Fatalf("%s: WithTasks mutated the receiver", alg)
+		}
+		// Batched removal round-trips to the original.
+		back, err := grown.WithoutTasks([]string{"b1", "b2", "b3", "b4"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, err := pr.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range task.Modes() {
+			origProfs := orig.ChannelProfiles(m)
+			for ch, prof := range back.ChannelProfiles(m) {
+				if !prof.Equal(origProfs[ch]) {
+					t.Fatalf("%s: mode %s channel %d: round-trip profile differs from original", alg, m, ch)
+				}
+			}
+		}
+		if got, want := len(back.Problem().Tasks), len(pr.Tasks); got != want {
+			t.Fatalf("%s: round-trip task count %d, want %d", alg, got, want)
+		}
+	}
+}
+
+// TestCompiledWithTasksErrors pins the all-or-nothing batch contract:
+// any invalid member rejects the whole batch up front, and the receiver
+// stays usable afterwards.
+func TestCompiledWithTasksErrors(t *testing.T) {
+	pr := Problem{Tasks: task.PaperTaskSet(), Alg: analysis.EDF, O: UniformOverheads(0.05)}
+	cp, err := pr.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := task.Task{Name: "fine", C: 0.1, T: 10, Mode: task.NF, Channel: 0}
+	cases := [][]task.Task{
+		{ok, {Name: "bad", C: -1, T: 5, Mode: task.NF}},
+		{ok, {C: 0.1, T: 10, Mode: task.NF}},               // unnamed
+		{ok, {Name: "fine", C: 0.1, T: 12, Mode: task.FS}}, // duplicate within batch
+		{ok, {Name: "tau1", C: 0.1, T: 12, Mode: task.NF}}, // already present
+	}
+	for i, batch := range cases {
+		if _, err := cp.WithTasks(batch); err == nil {
+			t.Errorf("case %d: invalid batch accepted", i)
+		}
+	}
+	if _, err := cp.WithoutTasks([]string{"tau1", "ghost"}); err == nil {
+		t.Error("batch with unknown name accepted")
+	}
+	if _, err := cp.WithoutTasks([]string{"tau1", "tau1"}); err == nil {
+		t.Error("batch listing a name twice accepted")
+	}
+	if _, err := cp.WithoutTasks([]string{""}); err == nil {
+		t.Error("batch with empty name accepted")
+	}
+	if got, err := cp.WithTasks(nil); err != nil || got != cp {
+		t.Errorf("empty WithTasks should return the receiver, got (%p, %v)", got, err)
+	}
+	if got, err := cp.WithoutTasks(nil); err != nil || got != cp {
+		t.Errorf("empty WithoutTasks should return the receiver, got (%p, %v)", got, err)
+	}
+	if len(cp.Problem().Tasks) != len(pr.Tasks) {
+		t.Error("failed batches mutated the receiver")
+	}
+}

@@ -11,201 +11,562 @@
 //
 // The period P is fixed at run time (changing it would re-time every
 // slot boundary); only the slot lengths move. Admission recomputes the
-// affected mode's minimum quantum with the candidate task included and
-// accepts iff the growth fits into the current slack. Each accepted
+// affected modes' minimum quanta with the candidate tasks included and
+// accepts iff the grown slots fit into the period. Each accepted
 // reconfiguration therefore preserves the Eq. (12)–(14) guarantees of
 // every task already in the system.
 //
-// Reconfiguration cost scales with the change, not the channel: the
-// manager patches the touched channel's compiled demand profile
-// incrementally (analysis.Profile.WithTask / WithoutTask, which are
-// property-tested bit-identical to a fresh compile), so a high-churn
-// admission controller runs at line rate. The original theorem-level
-// re-check of the whole system — which rebuilds every channel's demand
-// from scratch and would dominate each admission — is available on
-// demand as Verify instead of being paid on every reshape.
+// The manager is built for bursty, concurrent reconfiguration traffic:
+//
+//   - Batched: AdmitBatch and RemoveBatch reshape once for a whole
+//     group of arrivals or departures — all-or-nothing, one candidate
+//     set, one profile patch per touched channel
+//     (analysis.Profile.WithTasks/WithoutTasks, one envelope re-prune
+//     for the group instead of one per task), one configuration swap.
+//     Admit and Remove are the k=1 conveniences.
+//
+//   - Sharded: each channel carries its own lock, so batches touching
+//     disjoint channels patch their demand profiles concurrently. Only
+//     the final decide-and-swap step — comparing the per-mode worst
+//     quanta against the period — serialises, on a short commit mutex,
+//     because the slots of all three modes share the one period.
+//
+//   - Non-blocking reads: the live core.Config and the admitted task
+//     set are published by one atomic pointer swap per reconfiguration,
+//     so Config, Slack and Tasks never block behind a reshape.
+//
+//   - Bounded memory: each incremental patch shares prefix rows with
+//     its predecessor, which can pin the backing arrays of profiles
+//     long since replaced. A consolidation policy (Consolidate, or the
+//     automatic every-n-patches trigger of SetConsolidateEvery) rebuilds
+//     a channel's retained pre-pruning stream from scratch — bit-identical
+//     by the compile properties — so a long-lived high-churn manager's
+//     footprint stays proportional to the live task set.
+//
+// The theorem-level whole-system re-check — which rebuilds every
+// channel's demand from scratch and would dominate each admission — is
+// available on demand as Verify instead of being paid on every reshape.
 package online
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/task"
 )
 
-// Manager tracks a live configuration and serialises reconfigurations.
-// It is safe for concurrent use.
+// DefaultConsolidateEvery is the automatic consolidation trigger a new
+// manager starts with: a channel's retained streams are rebuilt from
+// scratch after this many incremental patches. SetConsolidateEvery
+// changes it; 0 disables the trigger.
+const DefaultConsolidateEvery = 128
+
+// Manager tracks a live configuration and reconfigures it in batches.
+// It is safe for concurrent use: batches touching disjoint channels
+// proceed in parallel and readers never block behind a reshape.
 type Manager struct {
-	mu    sync.Mutex
-	alg   analysis.Alg
-	over  core.Overheads
-	tasks task.Set
-	cfg   core.Config
-	// profiles caches one compiled demand profile (analysis.Profile) per
-	// channel of each mode. An admit or remove touches exactly one
-	// channel, so only that channel's profile is patched — incrementally,
-	// at a cost proportional to the arriving task's own deadline stream —
-	// while the quanta of all other channels are re-evaluated
-	// allocation-free from the cache.
-	profiles [task.NumModes][]*analysis.Profile
+	alg  analysis.Alg
+	over core.Overheads
+	p    float64 // the fixed period, immutable after construction
+
+	// cfg is the live configuration, replaced by one atomic pointer
+	// swap per committed reconfiguration. The pointee is never mutated.
+	cfg atomic.Pointer[core.Config]
+	// live is the committed task-set snapshot, same publication scheme.
+	live atomic.Pointer[task.Set]
+
+	// commitMu serialises the decide-and-swap step of every
+	// reconfiguration: the per-mode worst-quantum comparison against the
+	// period, the cfg/live swaps and the minq cache updates all happen
+	// under it. The expensive profile patching happens before it, under
+	// the channel locks only.
+	commitMu sync.Mutex
+
+	// nameMu guards names, the global task registry. It is a leaf lock:
+	// nothing else is acquired while holding it.
+	nameMu sync.Mutex
+	names  map[string]*nameEntry
+
+	channels [task.NumModes][]*channelState
+
+	// consolidateEvery is the automatic consolidation threshold
+	// (atomic so SetConsolidateEvery needs no lock).
+	consolidateEvery atomic.Int64
+}
+
+// nameEntry records one admitted (or in-flight) task under its unique
+// name. pending entries are reserved by an uncommitted AdmitBatch or
+// marked for departure by an uncommitted RemoveBatch; they block
+// conflicting reconfigurations until their batch commits or aborts.
+type nameEntry struct {
+	t       task.Task
+	pending bool
+}
+
+// channelState is one shard: a channel's compiled demand profile and
+// its commit-side caches.
+type channelState struct {
+	mode task.Mode
+	ch   int
+
+	// mu serialises reconfigurations of this channel; batches touching
+	// disjoint channels run concurrently. prof and patches are guarded
+	// by mu.
+	mu   sync.Mutex
+	prof *analysis.Profile
+	// patches counts incremental updates since the last from-scratch
+	// rebuild — the consolidation trigger.
+	patches int
+
+	// minq caches prof.MinQ(P) for the committed profile. It is written
+	// only under commitMu (by a committer that also holds mu) and read
+	// under commitMu, so the decide step never touches another
+	// channel's profile.
+	minq float64
 }
 
 // NewManager starts from a verified problem/configuration pair, e.g. a
-// design.Solution's Config.
+// design.Solution's Config. The problem is compiled internally; use
+// NewManagerFromCompiled to reuse an existing compilation.
 func NewManager(pr core.Problem, cfg core.Config) (*Manager, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	cp, err := pr.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("online: %w", err)
+	}
+	return NewManagerFromCompiled(cp, cfg)
+}
+
+// NewManagerFromCompiled starts run-time management from an
+// already-compiled problem (e.g. the one a design solve built). The
+// manager copies everything it will mutate — the per-channel profile
+// slices and the task set — so reconfigurations never write into the
+// caller's CompiledProblem: the source stays bit-identical however the
+// manager churns, and several sibling managers may be built from one
+// compilation. (The profiles themselves are immutable and shared.)
+func NewManagerFromCompiled(cp *core.CompiledProblem, cfg core.Config) (*Manager, error) {
+	pr := cp.Problem()
 	if err := pr.Validate(); err != nil {
 		return nil, err
 	}
 	if err := pr.Verify(cfg); err != nil {
 		return nil, fmt.Errorf("online: initial configuration rejected: %w", err)
 	}
-	cp, err := pr.Compile()
-	if err != nil {
-		return nil, fmt.Errorf("online: %w", err)
-	}
 	m := &Manager{
 		alg:   pr.Alg,
 		over:  pr.O,
-		tasks: append(task.Set(nil), pr.Tasks...),
-		cfg:   cfg,
+		p:     cfg.P,
+		names: make(map[string]*nameEntry, len(pr.Tasks)),
 	}
+	m.consolidateEvery.Store(DefaultConsolidateEvery)
 	for _, mode := range task.Modes() {
-		m.profiles[mode] = cp.ChannelProfiles(mode)
+		profs := cp.ChannelProfiles(mode) // already a copy, and we re-home it
+		m.channels[mode] = make([]*channelState, len(profs))
+		for ch, prof := range profs {
+			m.channels[mode][ch] = &channelState{
+				mode: mode,
+				ch:   ch,
+				prof: prof,
+				minq: prof.MinQ(cfg.P),
+			}
+		}
 	}
+	for _, t := range pr.Tasks {
+		if t.Name != "" {
+			m.names[t.Name] = &nameEntry{t: t}
+		}
+	}
+	live := append(task.Set(nil), pr.Tasks...)
+	m.live.Store(&live)
+	cfgCopy := cfg
+	m.cfg.Store(&cfgCopy)
 	return m, nil
 }
 
-// Config returns the current configuration.
-func (m *Manager) Config() core.Config {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.cfg
-}
+// Config returns the current configuration. It never blocks behind a
+// reshape: the live configuration is read with one atomic load.
+func (m *Manager) Config() core.Config { return *m.cfg.Load() }
 
-// Tasks returns a copy of the currently admitted task set.
-func (m *Manager) Tasks() task.Set {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return append(task.Set(nil), m.tasks...)
-}
+// Tasks returns a copy of the currently admitted task set (lock-free).
+func (m *Manager) Tasks() task.Set { return append(task.Set(nil), *m.live.Load()...) }
 
-// Slack returns the bandwidth still redistributable.
-func (m *Manager) Slack() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.cfg.Slack()
-}
+// Slack returns the bandwidth still redistributable (lock-free).
+func (m *Manager) Slack() float64 { return m.cfg.Load().Slack() }
 
 // Verify re-checks the live configuration against the original theorems
 // (core.Problem.Verify): every channel of every mode schedulable on its
 // (α, Δ) supply, structure valid. It is the independent oracle for the
 // compiled fast path — full recompilation cost, so it is offered on
-// demand rather than paid on every reshape.
+// demand rather than paid on every reshape. It takes the commit mutex
+// briefly to snapshot a consistent (configuration, task set) pair.
 func (m *Manager) Verify() error {
-	m.mu.Lock()
-	pr := core.Problem{Tasks: append(task.Set(nil), m.tasks...), Alg: m.alg, O: m.over}
-	cfg := m.cfg
-	m.mu.Unlock()
+	m.commitMu.Lock()
+	cfg := *m.cfg.Load()
+	tasks := append(task.Set(nil), *m.live.Load()...)
+	m.commitMu.Unlock()
+	pr := core.Problem{Tasks: tasks, Alg: m.alg, O: m.over}
 	return pr.Verify(cfg)
 }
 
 // ErrRejected wraps all admission failures.
 var ErrRejected = fmt.Errorf("online: admission rejected")
 
-// Admit attempts to add a task at run time. The task's mode slot is
-// grown to the new minimum quantum; the growth must fit in the current
-// slack. On success the new configuration is active; on failure the
-// system is untouched. The task must carry a unique non-empty name —
-// anonymous tasks would be unremovable (Remove addresses tasks by name)
-// and would silently bypass the duplicate check.
-func (m *Manager) Admit(t task.Task) error {
-	t = t.Normalized()
-	if err := t.Validate(); err != nil {
-		return fmt.Errorf("%w: %v", ErrRejected, err)
+// Admit attempts to add one task at run time; it is AdmitBatch of a
+// single-element batch. The task's mode slot is resized to the new
+// minimum quantum; the resulting slots must fit the period. On success
+// the new configuration is live; on failure the system is untouched.
+func (m *Manager) Admit(t task.Task) error { return m.AdmitBatch([]task.Task{t}) }
+
+// Remove releases one task by name; it is RemoveBatch of a
+// single-element batch.
+func (m *Manager) Remove(name string) error { return m.RemoveBatch([]string{name}) }
+
+// AdmitBatch attempts to add a group of tasks in one reconfiguration.
+// The batch is all-or-nothing: either every task is admitted — one
+// candidate set, one profile patch per touched channel, one
+// configuration swap — or none is and the system is untouched. Each
+// task must carry a unique non-empty name (anonymous tasks would be
+// unremovable, and duplicates would make their namesake unaddressable);
+// a name may not collide with an admitted task or with the rest of the
+// batch. Batches touching disjoint channels reconfigure concurrently.
+// An empty batch is a no-op.
+func (m *Manager) AdmitBatch(batch []task.Task) error {
+	if len(batch) == 0 {
+		return nil
 	}
-	if t.Name == "" {
-		return fmt.Errorf("%w: task must have a name (anonymous tasks cannot be removed later)", ErrRejected)
+	norm := make(task.Set, len(batch))
+	for i, t := range batch {
+		t = t.Normalized()
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrRejected, err)
+		}
+		if t.Name == "" {
+			return fmt.Errorf("%w: task must have a name (anonymous tasks cannot be removed later)", ErrRejected)
+		}
+		norm[i] = t
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, exists := m.tasks.Find(t.Name); exists {
-		return fmt.Errorf("%w: task %q already admitted", ErrRejected, t.Name)
+	if err := m.reserveAdmit(norm); err != nil {
+		return err
 	}
-	fresh, err := m.profiles[t.Mode][t.Channel].WithTask(t)
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrRejected, err)
+	touched := m.lockChannels(norm)
+	defer unlockChannels(touched)
+	for _, tc := range touched {
+		fresh, err := tc.st.prof.WithTasks(norm.ByChannel(tc.st.mode, tc.st.ch))
+		if err != nil {
+			m.unreserveAdmit(norm)
+			return fmt.Errorf("%w: %v", ErrRejected, err)
+		}
+		tc.prof, tc.minq = fresh, fresh.MinQ(m.p)
 	}
-	candidate := append(append(task.Set(nil), m.tasks...), t)
-	return m.reshape(candidate, t.Mode, t.Channel, fresh)
+	if err := m.commit(touched, norm, nil); err != nil {
+		m.unreserveAdmit(norm)
+		return err
+	}
+	m.maybeConsolidate(touched)
+	return nil
 }
 
-// Remove releases a task and shrinks its mode's slot back to the new
-// minimum, reclaiming the difference as slack.
-func (m *Manager) Remove(name string) error {
-	if name == "" {
-		return fmt.Errorf("online: cannot remove by empty name")
+// RemoveBatch releases a group of tasks by name in one reconfiguration,
+// shrinking the affected mode slots back to the new minima and
+// reclaiming the difference as slack. Like AdmitBatch it is
+// all-or-nothing: every name must denote an admitted task and appear
+// once, or nothing is removed. An empty batch is a no-op.
+func (m *Manager) RemoveBatch(names []string) error {
+	if len(names) == 0 {
+		return nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	idx := -1
-	for i, t := range m.tasks {
-		if t.Name == name {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		return fmt.Errorf("online: no task %q", name)
-	}
-	departing := m.tasks[idx]
-	mode, channel := departing.Mode, departing.Channel
-	fresh, err := m.profiles[mode][channel].WithoutTask(departing)
+	victims, err := m.reserveRemove(names)
 	if err != nil {
-		return fmt.Errorf("online: %w", err)
+		return err
 	}
-	candidate := append(append(task.Set(nil), m.tasks[:idx]...), m.tasks[idx+1:]...)
-	if err := m.reshape(candidate, mode, channel, fresh); err != nil {
+	touched := m.lockChannels(victims)
+	defer unlockChannels(touched)
+	for _, tc := range touched {
+		fresh, err := tc.st.prof.WithoutTasks(victims.ByChannel(tc.st.mode, tc.st.ch))
+		if err != nil {
+			m.unreserveRemove(victims)
+			return fmt.Errorf("online: %v", err)
+		}
+		tc.prof, tc.minq = fresh, fresh.MinQ(m.p)
+	}
+	if err := m.commit(touched, nil, victims); err != nil {
+		m.unreserveRemove(victims)
 		return err // cannot happen: shrinking always fits; defensive
+	}
+	m.maybeConsolidate(touched)
+	return nil
+}
+
+// reserveAdmit claims the batch's names in the registry, rejecting
+// duplicates within the batch and collisions with admitted or in-flight
+// tasks. On success the names stay reserved (pending) until the batch
+// commits or unreserveAdmit rolls them back.
+func (m *Manager) reserveAdmit(batch task.Set) error {
+	m.nameMu.Lock()
+	defer m.nameMu.Unlock()
+	for i, t := range batch {
+		if _, exists := m.names[t.Name]; exists {
+			for _, u := range batch[:i] { // roll back this batch's claims
+				delete(m.names, u.Name)
+			}
+			return fmt.Errorf("%w: task %q already admitted", ErrRejected, t.Name)
+		}
+		m.names[t.Name] = &nameEntry{t: t, pending: true}
 	}
 	return nil
 }
 
-// reshape recomputes the quantum of the affected mode for the candidate
-// set at the fixed period and applies it if it fits. fresh is the
-// touched channel's updated profile (patched incrementally by the
-// caller; a full analysis.Compile of the channel is the equivalent
-// fallback); the other channels of the mode are served from the profile
-// cache. Caller holds mu.
-func (m *Manager) reshape(candidate task.Set, mode task.Mode, channel int, fresh *analysis.Profile) error {
-	worst := 0.0
-	for i, prof := range m.profiles[mode] {
-		if i == channel {
-			prof = fresh
-		}
-		if q := prof.MinQ(m.cfg.P); q > worst {
-			worst = q
+func (m *Manager) unreserveAdmit(batch task.Set) {
+	m.nameMu.Lock()
+	for _, t := range batch {
+		delete(m.names, t.Name)
+	}
+	m.nameMu.Unlock()
+}
+
+// reserveRemove marks the named entries pending and returns their task
+// values (the exact values the channel profiles hold). Names must be
+// unique within the batch and denote committed tasks; a task another
+// batch is still admitting or removing counts as absent.
+func (m *Manager) reserveRemove(names []string) (task.Set, error) {
+	m.nameMu.Lock()
+	defer m.nameMu.Unlock()
+	victims := make(task.Set, 0, len(names))
+	rollback := func() {
+		for _, t := range victims {
+			m.names[t.Name].pending = false
 		}
 	}
-	newSlot := worst + m.over.Of(mode)
-	next := m.cfg
-	next.Q = next.Q.With(mode, newSlot)
+	for i, name := range names {
+		if name == "" {
+			rollback()
+			return nil, fmt.Errorf("online: cannot remove by empty name")
+		}
+		for _, prev := range names[:i] {
+			if prev == name {
+				rollback()
+				return nil, fmt.Errorf("online: task %q listed twice in the batch", name)
+			}
+		}
+		e, ok := m.names[name]
+		if !ok || e.pending {
+			rollback()
+			return nil, fmt.Errorf("online: no task %q", name)
+		}
+		e.pending = true
+		victims = append(victims, e.t)
+	}
+	return victims, nil
+}
+
+func (m *Manager) unreserveRemove(victims task.Set) {
+	m.nameMu.Lock()
+	for _, t := range victims {
+		m.names[t.Name].pending = false
+	}
+	m.nameMu.Unlock()
+}
+
+// touchedChannel pairs a locked shard with the freshly patched profile
+// that will replace its committed one.
+type touchedChannel struct {
+	st   *channelState
+	prof *analysis.Profile
+	minq float64
+}
+
+// lockChannels locks the shards the batch touches, in (mode, channel)
+// order so concurrent batches with overlapping footprints cannot
+// deadlock. The caller unlocks via unlockChannels.
+func (m *Manager) lockChannels(batch task.Set) []*touchedChannel {
+	seen := make(map[*channelState]bool, len(batch))
+	touched := make([]*touchedChannel, 0, len(batch))
+	for _, t := range batch {
+		st := m.channels[t.Mode][t.Channel]
+		if !seen[st] {
+			seen[st] = true
+			touched = append(touched, &touchedChannel{st: st})
+		}
+	}
+	sort.Slice(touched, func(i, j int) bool {
+		a, b := touched[i].st, touched[j].st
+		if a.mode != b.mode {
+			return a.mode < b.mode
+		}
+		return a.ch < b.ch
+	})
+	for _, tc := range touched {
+		tc.st.mu.Lock()
+	}
+	return touched
+}
+
+func unlockChannels(touched []*touchedChannel) {
+	for _, tc := range touched {
+		tc.st.mu.Unlock()
+	}
+}
+
+// commit is the decide-and-swap step, serialised on commitMu: recompute
+// the touched modes' slots from the cached per-channel minima (fresh
+// values for the touched channels), check the slot total against the
+// period, and — on acceptance — publish the new configuration, task
+// snapshot, profiles and name-registry state in one swap. The caller
+// holds the touched channels' locks.
+func (m *Manager) commit(touched []*touchedChannel, added, removed task.Set) error {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	next := *m.cfg.Load()
+	var modes []task.Mode
+	for _, tc := range touched {
+		mode := tc.st.mode
+		if len(modes) == 0 || modes[len(modes)-1] != mode {
+			modes = append(modes, mode) // touched is mode-sorted
+		}
+	}
+	for _, mode := range modes {
+		worst := 0.0
+		for _, st := range m.channels[mode] {
+			q := st.minq
+			for _, tc := range touched {
+				if tc.st == st {
+					q = tc.minq
+					break
+				}
+			}
+			if q > worst {
+				worst = q
+			}
+		}
+		next.Q = next.Q.With(mode, worst+m.over.Of(mode))
+	}
 	if next.Q.Total() > next.P+core.SlotFitTol {
-		return fmt.Errorf("%w: mode %s needs slot %.4f but only %.4f slack is available",
-			ErrRejected, mode, newSlot, m.cfg.Slack()+m.cfg.Q.Of(mode))
+		return rejectOverflow(next, modes)
 	}
 	// Structural sanity before switching. The schedulability of the new
-	// configuration follows from the compiled inversion itself: the slot
-	// covers max_i minQ of the mode's channels, the profiles are
-	// property-tested bit-identical to the theorem oracle, and untouched
-	// modes keep their task sets, slots and therefore their (α, Δ)
-	// guarantees. The theorem-level re-check stays available as Verify.
+	// configuration follows from the compiled inversion itself: each
+	// touched slot covers max_i minQ of its mode's channels, the profiles
+	// are property-tested bit-identical to the theorem oracle, and
+	// untouched modes keep their task sets, slots and therefore their
+	// (α, Δ) guarantees. The theorem-level re-check stays available as
+	// Verify.
 	if err := next.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrRejected, err)
 	}
-	m.tasks = candidate
-	m.cfg = next
-	m.profiles[mode][channel] = fresh
+	for _, tc := range touched {
+		tc.st.prof = tc.prof
+		tc.st.minq = tc.minq
+		tc.st.patches++
+	}
+	old := *m.live.Load()
+	live := make(task.Set, 0, len(old)+len(added)-len(removed))
+	for _, t := range old {
+		if _, gone := removed.Find(t.Name); !gone || t.Name == "" {
+			live = append(live, t)
+		}
+	}
+	live = append(live, added...)
+	m.live.Store(&live)
+	m.cfg.Store(&next)
+	m.nameMu.Lock()
+	for _, t := range added {
+		m.names[t.Name].pending = false
+	}
+	for _, t := range removed {
+		delete(m.names, t.Name)
+	}
+	m.nameMu.Unlock()
 	return nil
+}
+
+// rejectOverflow reports why the candidate slots do not fit: for each
+// reshaped mode, the slot it asked for next to the actual maximum the
+// mode could take — the period minus the slots held by the other modes
+// (admissible within core.SlotFitTol).
+func rejectOverflow(next core.Config, modes []task.Mode) error {
+	parts := make([]string, len(modes))
+	for i, mode := range modes {
+		need := next.Q.Of(mode)
+		max := next.P - (next.Q.Total() - need)
+		parts[i] = fmt.Sprintf("mode %s needs slot %.6f but at most %.6f fits (period %.6f minus %.6f held by the other slots)",
+			mode, need, max, next.P, next.Q.Total()-need)
+	}
+	return fmt.Errorf("%w: %s", ErrRejected, strings.Join(parts, "; "))
+}
+
+// SetConsolidateEvery sets the automatic consolidation trigger: after n
+// incremental patches a channel's retained streams are rebuilt from
+// scratch at the end of the reconfiguration that crossed the threshold.
+// n = 0 disables automatic consolidation (Consolidate stays available).
+func (m *Manager) SetConsolidateEvery(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.consolidateEvery.Store(int64(n))
+}
+
+// maybeConsolidate rebuilds any of the just-reconfigured channels whose
+// patch count crossed the automatic threshold. The caller still holds
+// the channel locks; commitMu is not needed because the committed
+// decision caches (minq) are unchanged — the rebuild is bit-identical
+// by the compile properties, it only re-homes the retained streams into
+// compact backing arrays.
+func (m *Manager) maybeConsolidate(touched []*touchedChannel) {
+	every := int(m.consolidateEvery.Load())
+	if every <= 0 {
+		return
+	}
+	for _, tc := range touched {
+		if tc.st.patches >= every {
+			tc.st.consolidateLocked(m.alg)
+		}
+	}
+}
+
+// Consolidate rebuilds every channel's retained pre-pruning stream from
+// scratch, bounding the memory a long-lived high-churn manager retains:
+// incremental patches share prefix rows with their predecessors, which
+// can pin the backing arrays of profiles long since replaced, and a
+// fresh compile re-homes the live streams into compact arrays. The
+// rebuild is bit-identical to the incremental state (the property the
+// whole compiled layer is tested for), so configurations and admission
+// decisions are unaffected. It locks one channel at a time and never
+// blocks readers. The number of channels rebuilt is returned.
+func (m *Manager) Consolidate() int {
+	n := 0
+	for _, mode := range task.Modes() {
+		for _, st := range m.channels[mode] {
+			st.mu.Lock()
+			if st.consolidateLocked(m.alg) {
+				n++
+			}
+			st.mu.Unlock()
+		}
+	}
+	return n
+}
+
+// consolidateLocked recompiles the channel's live tasks in place. The
+// caller holds st.mu. A channel with no incremental patches since its
+// last from-scratch compile is already compact and is skipped. A
+// compile failure (impossible for tasks that already compiled) keeps
+// the patched profile.
+func (st *channelState) consolidateLocked(alg analysis.Alg) bool {
+	if st.patches == 0 {
+		return false
+	}
+	fresh, err := analysis.Compile(st.prof.Tasks(), alg)
+	if err != nil {
+		return false
+	}
+	st.prof = fresh
+	st.patches = 0
+	return true
 }

@@ -2,8 +2,10 @@ package online
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -243,7 +245,7 @@ func TestManagerChurnProfilesBitIdentical(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: %v", stage, err)
 				}
-				if !m.profiles[mode][ch].Equal(fresh) {
+				if !m.channels[mode][ch].prof.Equal(fresh) {
 					t.Fatalf("%s: mode %s channel %d: cached profile not bit-identical to fresh Compile",
 						stage, mode, ch)
 				}
@@ -324,5 +326,20 @@ func TestReshapeBoundaryToleranceMatchesDesign(t *testing.T) {
 	}
 	if _, err := tryAdmit(10 * core.SlotFitTol); !errors.Is(err, ErrRejected) {
 		t.Errorf("reshape beyond SlotFitTol should be rejected, got %v", err)
+	}
+	// The rejection must report the requested slot next to the actual
+	// maximum the mode could take — P minus the slots held by the other
+	// modes — not a meaningless slack+slot sum. With the slot total at
+	// P + 0.05, the FT slot's ceiling is exactly newSlot − 0.05.
+	_, err = tryAdmit(0.05)
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("overfull reshape should be rejected, got %v", err)
+	}
+	msg := err.Error()
+	if want := fmt.Sprintf("mode FT needs slot %.6f", newSlot); !strings.Contains(msg, want) {
+		t.Errorf("rejection %q does not report the requested slot (%q)", msg, want)
+	}
+	if want := fmt.Sprintf("but at most %.6f fits", newSlot-0.05); !strings.Contains(msg, want) {
+		t.Errorf("rejection %q does not report the mode's admissible maximum (%q)", msg, want)
 	}
 }

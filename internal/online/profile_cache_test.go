@@ -29,7 +29,7 @@ func TestProfileCacheTracksTasks(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: %v", stage, err)
 				}
-				got := m.profiles[mode][ch].MinQ(cfg.P)
+				got := m.channels[mode][ch].prof.MinQ(cfg.P)
 				if got != want {
 					t.Fatalf("%s: mode %s channel %d: cached profile MinQ = %g, naive = %g",
 						stage, mode, ch, got, want)
@@ -71,7 +71,7 @@ func TestRejectedAdmitLeavesCacheUntouched(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if got := m.profiles[mode][ch].MinQ(before.P); got != want {
+			if got := m.channels[mode][ch].prof.MinQ(before.P); got != want {
 				t.Errorf("mode %s channel %d: cache drifted after rejected admit: %g vs %g",
 					mode, ch, got, want)
 			}

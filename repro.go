@@ -207,7 +207,12 @@ func WriteTaskSet(w io.Writer, s TaskSet) error { return s.WriteJSON(w) }
 // Extensions beyond the paper's evaluation (its Section 5 future work).
 
 // OnlineManager admits and releases tasks at run time within the
-// period's slack, preserving all guarantees (see internal/online).
+// period's slack, preserving all guarantees (see internal/online). It
+// reconfigures in batches (AdmitBatch/RemoveBatch: all-or-nothing, one
+// reshape per touched mode, one configuration swap), shards its state
+// per channel so independent channels reconfigure concurrently, and
+// serves Config/Slack/Tasks lock-free from an atomically published
+// snapshot.
 type OnlineManager = online.Manager
 
 // NewOnlineManager starts run-time management from a verified design.
@@ -215,8 +220,18 @@ func NewOnlineManager(pr Problem, cfg Config) (*OnlineManager, error) {
 	return online.NewManager(pr, cfg)
 }
 
-// ErrAdmissionRejected is returned by OnlineManager.Admit when the
-// arriving task does not fit in the available slack.
+// NewOnlineManagerFromCompiled starts run-time management from an
+// already-compiled problem, reusing its channel profiles instead of
+// recompiling. The manager copies everything it will mutate, so churn
+// never corrupts the source CompiledProblem and several managers can be
+// built from one compilation.
+func NewOnlineManagerFromCompiled(cp *CompiledProblem, cfg Config) (*OnlineManager, error) {
+	return online.NewManagerFromCompiled(cp, cfg)
+}
+
+// ErrAdmissionRejected is returned by OnlineManager.Admit and
+// AdmitBatch when the arriving task (or any member of the batch) does
+// not fit in the available slack.
 var ErrAdmissionRejected = online.ErrRejected
 
 // SplitSolution is a design whose quanta are delivered as several
