@@ -8,6 +8,13 @@
 //	      [-goal max-period|max-slack] [-horizon 480]
 //	      [-faultrate 0.02] [-faultdur 0.05] [-seed 1]
 //	      [-recovery none|drop|backup|checkpoint] [-gantt 0]
+//
+// With -chaos the command instead storms an online admission manager
+// built from the design — concurrent admissions, partial admissions,
+// removals, fault-driven capacity revocations and restores — and
+// checks the full-state invariants at every quiescent point:
+//
+//	ftsim -chaos [-chaosrounds 8] [-chaoswriters 0] [-chaosops 20] [-seed 1]
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	"repro"
 	"repro/internal/analysis"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/design"
 	"repro/internal/recovery"
@@ -40,6 +48,11 @@ func main() {
 		seed       = flag.Int64("seed", 1, "fault injector seed")
 		recName    = flag.String("recovery", "none", "FS recovery policy: none, drop, backup or checkpoint")
 		gantt      = flag.Float64("gantt", 0, "render an ASCII Gantt chart of the first N time units")
+
+		chaosRun     = flag.Bool("chaos", false, "storm the online manager and check invariants instead of simulating")
+		chaosRounds  = flag.Int("chaosrounds", 0, "chaos storm rounds (0 = default 8)")
+		chaosWriters = flag.Int("chaoswriters", 0, "concurrent chaos writers (0 = one per channel)")
+		chaosOps     = flag.Int("chaosops", 0, "operations per chaos writer per round (0 = default 20)")
 	)
 	flag.Parse()
 
@@ -92,6 +105,38 @@ func main() {
 	}
 	fmt.Printf("design: P=%.4f  Q̃=[FT %.4f, FS %.4f, NF %.4f]  slack=%.4f\n\n",
 		cfg.P, cfg.UsableQ(repro.FT), cfg.UsableQ(repro.FS), cfg.UsableQ(repro.NF), cfg.Slack())
+
+	if *chaosRun {
+		// The bit-identity oracle re-derives minimal slots, so storm a
+		// manager built from the from-scratch solve at the designed
+		// period rather than from a possibly padded loaded design.
+		cp, err := repro.Compile(pr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		minCfg, err := cp.ConfigFor(cfg.P)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := repro.NewOnlineManagerFromCompiled(cp, minCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := chaos.Run(m, pr, chaos.Options{
+			Seed:         *seed,
+			Rounds:       *chaosRounds,
+			Writers:      *chaosWriters,
+			OpsPerWriter: *chaosOps,
+		})
+		if res != nil {
+			fmt.Printf("chaos: %s\n", res)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("chaos: all quiescent-point invariants held")
+		return
+	}
 
 	opts := repro.SimOptions{
 		Horizon:      timeu.FromUnits(*horizon),

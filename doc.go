@@ -40,7 +40,18 @@
 //     (per-channel locks, so disjoint channels reconfigure
 //     concurrently) and read-optimised (Config/Slack/Tasks are served
 //     lock-free from atomically swapped snapshots), with a
-//     consolidation policy bounding long-run memory under churn;
+//     consolidation policy bounding long-run memory under churn. It is
+//     also overload-resilient: AdmitBatchPartial sheds the
+//     lowest-value members of an overflowing batch under a Policy
+//     (greedy-maximal, one profile patch per shed), Revoke/Restore
+//     model capacity loss and recovery (evict lowest-value tasks, park
+//     them, readmit by value), and every failure is a typed *Rejection
+//     (per-task verdicts, offending slot overflows, ErrRejected/ErrBusy
+//     sentinels with a Backoff retry helper);
+//   - internal/chaos: a seeded concurrency harness storming the manager
+//     — admissions, partial admissions, removals, fault-driven
+//     revocations — and checking conservation, Verify and bit-identity
+//     to a from-scratch solve at every quiescent point (ftsim -chaos);
 //   - internal/platform, internal/faults, internal/sim,
 //     internal/recovery, internal/trace: the executable platform model
 //     with fault injection and recovery policies;

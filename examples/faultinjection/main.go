@@ -8,10 +8,17 @@
 //     silently corrupted (no comparison hardware in NF mode);
 //  4. a fault during the slack region — harmless.
 //
+// It then demonstrates the overload-resilient admission layer on the
+// paper's task set: a partial admission that sheds its least valuable
+// member with a typed verdict, the structured rejection error, and a
+// fault schedule rendered as capacity steps driving degraded-mode
+// operation (evict on revoke, readmit on restore).
+//
 // Run with: go run ./examples/faultinjection
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -65,4 +72,100 @@ func main() {
 	fmt.Println()
 	fmt.Println("note the fs-mon gap after the silencing at t=2.7, and that")
 	fmt.Println("nf-gui keeps its deadline even though its result is corrupted.")
+	fmt.Println()
+
+	overloadDemo()
+}
+
+// overloadDemo exercises the robustness layer: partial admission with
+// value-ordered shedding, the typed rejection error, and degraded-mode
+// operation driven by a fault schedule.
+func overloadDemo() {
+	pr := repro.PaperProblem(repro.EDF)
+	cp, err := repro.Compile(pr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := repro.Design(pr, repro.MaxFlexibility)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := cp.ConfigFor(sol.Config.P)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := repro.NewOnlineManagerFromCompiled(cp, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("online manager on the max-flexibility design: P=%.4f slack=%.4f\n\n",
+		cfg.P, m.Slack())
+
+	// Value = criticality: the camera is nice-to-have, the telemetry and
+	// watchdog are not.
+	worth := map[string]float64{"camera": 1, "telemetry": 5, "watchdog": 9}
+	policy := repro.AdmissionPolicy{Value: func(t repro.Task) float64 { return worth[t.Name] }}
+
+	batch := []repro.Task{
+		{Name: "telemetry", C: 0.02, T: 8, Mode: repro.NF, Channel: 1},
+		{Name: "watchdog", C: 0.01, T: 4, Mode: repro.FS, Channel: 1},
+		{Name: "camera", C: 2.0, T: 10, Mode: repro.NF, Channel: 2}, // far too big
+	}
+	report, err := m.AdmitBatchPartial(batch, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partial admission of %d arrivals: %d in, %d shed\n",
+		len(batch), len(report.Admitted), len(report.Rejected))
+	for _, v := range report.Rejected {
+		fmt.Printf("  %s\n", v)
+	}
+
+	// The same oversized task through the all-or-nothing path yields a
+	// structured rejection: which mode overflowed, by how much.
+	err = m.Admit(repro.Task{Name: "camera", C: 2.0, T: 10, Mode: repro.NF, Channel: 2})
+	var rej *repro.AdmissionRejection
+	if !errors.As(err, &rej) || !errors.Is(err, repro.ErrAdmissionRejected) {
+		log.Fatalf("expected a typed rejection, got %v", err)
+	}
+	fmt.Println("\nall-or-nothing admission of the camera alone is rejected:")
+	for _, o := range rej.Overflows {
+		fmt.Printf("  %s\n", o)
+	}
+	if errors.Is(err, repro.ErrAdmissionBusy) {
+		log.Fatal("a capacity rejection must not look transient")
+	}
+
+	// A core struck at t=5 for 2 time units, rendered as capacity steps:
+	// its quarter of the period is revoked, then restored.
+	schedule := []repro.Fault{
+		{At: repro.FromUnits(5), Core: 2, Duration: repro.FromUnits(2)},
+	}
+	steps, err := repro.CapacitySteps(schedule, cfg.P, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\na struck core as a degraded-mode scenario:")
+	for _, s := range steps {
+		if s.Restore {
+			rep, err := m.Restore(s.Capacity, policy)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  t=%s core %d recovers: +%.4f capacity, readmitted %v\n",
+				s.At, s.Core, s.Capacity, rep.Readmitted.Names())
+		} else {
+			rep, err := m.Revoke(s.Capacity, policy)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  t=%s core %d struck: -%.4f capacity, evicted %v (slack %.4f)\n",
+				s.At, s.Core, s.Capacity, rep.Evicted.Names(), m.Slack()-m.Revoked())
+		}
+		if err := m.Verify(); err != nil {
+			log.Fatalf("invariant broken mid-scenario: %v", err)
+		}
+	}
+	fmt.Printf("\nafter recovery: %d tasks live, %d parked, %.4f revoked — full service restored\n",
+		len(m.Tasks()), len(m.Parked()), m.Revoked())
 }

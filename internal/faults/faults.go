@@ -5,6 +5,11 @@
 // assumption — at most one fault affects the system at a time — which
 // this package can both enforce (ValidateSingleFault) and generate
 // within (the injectors keep faults disjoint).
+//
+// Beyond the simulator's job-level fault handling, a fault schedule can
+// be rendered as a capacity scenario (CapacitySteps) for the online
+// manager's degraded-mode operation: each fault revokes the struck
+// core's share of the period for its duration.
 package faults
 
 import (
@@ -12,18 +17,24 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/platform"
 	"repro/internal/timeu"
 )
 
-// NumCores is the number of cores of the paper's platform.
-const NumCores = 4
+// NumCores is the default platform width, threaded from
+// internal/platform — the paper's 4-core lock-step multiprocessor.
+// Scenario generators and validators accept an explicit core count (the
+// *On variants, Poisson.Cores) for non-paper platforms; the plain forms
+// keep this default.
+const NumCores = platform.NumCores
 
 // Fault is one transient soft error.
 type Fault struct {
 	// At is the strike instant.
 	At timeu.Ticks
-	// Core is the struck core, in [0, NumCores). A single particle can
-	// strike only one core, even on a multicore die (Section 2.1).
+	// Core is the struck core, in [0, NumCores) (or [0, cores) for the
+	// explicit-width validators). A single particle can strike only one
+	// core, even on a multicore die (Section 2.1).
 	Core int
 	// Duration is how long the faulty condition lasts. The core
 	// misbehaves during [At, At+Duration).
@@ -33,13 +44,21 @@ type Fault struct {
 // End returns the instant the faulty condition clears.
 func (f Fault) End() timeu.Ticks { return f.At + f.Duration }
 
-// Validate checks the fault's fields.
-func (f Fault) Validate() error {
+// Validate checks the fault's fields against the default platform
+// width.
+func (f Fault) Validate() error { return f.ValidateOn(NumCores) }
+
+// ValidateOn checks the fault's fields against a platform with the
+// given number of cores.
+func (f Fault) ValidateOn(cores int) error {
+	if cores <= 0 {
+		return fmt.Errorf("faults: platform must have at least one core, got %d", cores)
+	}
 	if f.At < 0 {
 		return fmt.Errorf("faults: strike time %d negative", f.At)
 	}
-	if f.Core < 0 || f.Core >= NumCores {
-		return fmt.Errorf("faults: core %d out of range [0, %d)", f.Core, NumCores)
+	if f.Core < 0 || f.Core >= cores {
+		return fmt.Errorf("faults: core %d out of range [0, %d)", f.Core, cores)
 	}
 	if f.Duration <= 0 {
 		return fmt.Errorf("faults: duration %d must be positive", f.Duration)
@@ -48,11 +67,18 @@ func (f Fault) Validate() error {
 }
 
 // ValidateSingleFault checks the single-transient-fault assumption over
-// a schedule of faults: strikes sorted in time, and no fault begins
-// before the previous one (plus a recovery gap) has cleared.
+// a schedule of faults on the default platform width: strikes sorted in
+// time, and no fault begins before the previous one (plus a recovery
+// gap) has cleared.
 func ValidateSingleFault(fs []Fault, recoveryGap timeu.Ticks) error {
+	return ValidateSingleFaultOn(fs, recoveryGap, NumCores)
+}
+
+// ValidateSingleFaultOn is ValidateSingleFault for a platform with the
+// given number of cores.
+func ValidateSingleFaultOn(fs []Fault, recoveryGap timeu.Ticks, cores int) error {
 	for i, f := range fs {
-		if err := f.Validate(); err != nil {
+		if err := f.ValidateOn(cores); err != nil {
 			return err
 		}
 		if i == 0 {
@@ -112,6 +138,9 @@ type Poisson struct {
 	Duration timeu.Ticks
 	// Seed makes runs reproducible.
 	Seed int64
+	// Cores is the platform width the struck core is drawn from;
+	// 0 means the default NumCores.
+	Cores int
 }
 
 // Schedule generates the Poisson fault schedule over [0, horizon).
@@ -125,6 +154,13 @@ func (p Poisson) Schedule(horizon timeu.Ticks) ([]Fault, error) {
 	if p.Duration <= 0 {
 		return nil, fmt.Errorf("faults: duration %d must be positive", p.Duration)
 	}
+	cores := p.Cores
+	if cores == 0 {
+		cores = NumCores
+	}
+	if cores < 0 {
+		return nil, fmt.Errorf("faults: platform must have at least one core, got %d", cores)
+	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	var out []Fault
 	now := timeu.Ticks(0)
@@ -137,10 +173,10 @@ func (p Poisson) Schedule(horizon timeu.Ticks) ([]Fault, error) {
 		if now >= horizon {
 			break
 		}
-		out = append(out, Fault{At: now, Core: rng.Intn(NumCores), Duration: p.Duration})
+		out = append(out, Fault{At: now, Core: rng.Intn(cores), Duration: p.Duration})
 		now += p.Duration // next inter-arrival starts after the clear
 	}
-	if err := ValidateSingleFault(out, 0); err != nil {
+	if err := ValidateSingleFaultOn(out, 0, cores); err != nil {
 		return nil, err // unreachable by construction; defensive
 	}
 	return out, nil
@@ -151,3 +187,49 @@ type None struct{}
 
 // Schedule returns an empty schedule.
 func (None) Schedule(timeu.Ticks) ([]Fault, error) { return nil, nil }
+
+// Step is one capacity transition of a degraded-mode scenario: at At,
+// Capacity time units of the period are revoked (a core struck) or
+// restored (the fault cleared). Steps drive online.Manager.Revoke and
+// Restore.
+type Step struct {
+	// At is the transition instant.
+	At timeu.Ticks
+	// Capacity is the amount revoked or restored, in analysis time
+	// units.
+	Capacity float64
+	// Restore distinguishes a restore (fault cleared) from a revoke
+	// (fault struck).
+	Restore bool
+	// Core is the core whose fault caused the transition.
+	Core int
+}
+
+// CapacitySteps renders a fault schedule as a capacity scenario for the
+// online manager: each fault revokes the struck core's share of the
+// period — period/cores — at its strike instant and restores it when
+// the faulty condition clears. The schedule must satisfy the
+// single-fault assumption on the given platform width (cores ≤ 0 means
+// the default NumCores); the returned steps are sorted by time, revoke
+// before restore never overlapping by construction.
+func CapacitySteps(fs []Fault, period float64, cores int) ([]Step, error) {
+	if cores <= 0 {
+		cores = NumCores
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("faults: period %g must be positive", period)
+	}
+	if err := ValidateSingleFaultOn(fs, 0, cores); err != nil {
+		return nil, err
+	}
+	share := period / float64(cores)
+	out := make([]Step, 0, 2*len(fs))
+	for _, f := range fs {
+		out = append(out,
+			Step{At: f.At, Capacity: share, Core: f.Core},
+			Step{At: f.End(), Capacity: share, Restore: true, Core: f.Core},
+		)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out, nil
+}

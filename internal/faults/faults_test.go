@@ -155,3 +155,100 @@ func TestNone(t *testing.T) {
 		t.Error("None must produce nothing")
 	}
 }
+
+func TestValidateOnExplicitWidth(t *testing.T) {
+	f := Fault{At: 0, Core: 6, Duration: 1}
+	if err := f.Validate(); err == nil {
+		t.Error("core 6 is off the default 4-core platform")
+	}
+	if err := f.ValidateOn(8); err != nil {
+		t.Errorf("core 6 fits an 8-core platform: %v", err)
+	}
+	if err := f.ValidateOn(0); err == nil {
+		t.Error("zero-core platform should be rejected")
+	}
+	if err := f.ValidateOn(-2); err == nil {
+		t.Error("negative platform width should be rejected")
+	}
+	sched := []Fault{
+		{At: 0, Core: 5, Duration: 2},
+		{At: 10, Core: 7, Duration: 2},
+	}
+	if err := ValidateSingleFault(sched, 0); err == nil {
+		t.Error("8-core schedule should fail default-width validation")
+	}
+	if err := ValidateSingleFaultOn(sched, 0, 8); err != nil {
+		t.Errorf("8-core schedule valid on 8 cores: %v", err)
+	}
+}
+
+func TestPoissonExplicitCores(t *testing.T) {
+	p := Poisson{Rate: 0.05, Duration: timeu.FromUnits(0.5), Seed: 3, Cores: 2}
+	got, err := p.Schedule(timeu.FromUnits(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("expected some faults")
+	}
+	for _, f := range got {
+		if f.Core < 0 || f.Core >= 2 {
+			t.Errorf("core %d drawn outside the 2-core platform", f.Core)
+		}
+	}
+	if _, err := (Poisson{Rate: 1, Duration: 1, Cores: -1}).Schedule(1000); err == nil {
+		t.Error("negative platform width should be rejected")
+	}
+}
+
+func TestCapacitySteps(t *testing.T) {
+	fs := []Fault{
+		{At: timeu.FromUnits(10), Core: 2, Duration: timeu.FromUnits(2)},
+		{At: timeu.FromUnits(20), Core: 0, Duration: timeu.FromUnits(1)},
+	}
+	const period = 2.0
+	steps, err := CapacitySteps(fs, period, 0) // default width
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 4 {
+		t.Fatalf("got %d steps, want a revoke+restore pair per fault", len(steps))
+	}
+	share := period / NumCores
+	for i, s := range steps {
+		if s.Capacity != share {
+			t.Errorf("step %d revokes %g, want the struck core's share %g", i, s.Capacity, share)
+		}
+		if i > 0 && s.At < steps[i-1].At {
+			t.Error("steps must be sorted by time")
+		}
+	}
+	// Each fault: revoke at the strike, restore at the clear, same core.
+	if steps[0].Restore || steps[0].Core != 2 || steps[0].At != fs[0].At {
+		t.Errorf("first step %+v, want revoke of core 2 at the strike", steps[0])
+	}
+	if !steps[1].Restore || steps[1].At != fs[0].End() {
+		t.Errorf("second step %+v, want restore at the clear", steps[1])
+	}
+
+	// Explicit width changes the share.
+	steps, err = CapacitySteps(fs[:1], period, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps[0].Capacity != period/8 {
+		t.Errorf("8-core share %g, want %g", steps[0].Capacity, period/8)
+	}
+
+	// Guards: bad period, single-fault violation.
+	if _, err := CapacitySteps(fs, 0, 0); err == nil {
+		t.Error("zero period should be rejected")
+	}
+	overlap := []Fault{
+		{At: 0, Core: 0, Duration: 10},
+		{At: 5, Core: 1, Duration: 10},
+	}
+	if _, err := CapacitySteps(overlap, period, 0); err == nil {
+		t.Error("overlapping faults should be rejected")
+	}
+}

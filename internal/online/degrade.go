@@ -1,0 +1,187 @@
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/task"
+	"repro/internal/trace"
+)
+
+// DegradeReport is the typed outcome of a capacity transition.
+type DegradeReport struct {
+	// Revoked is the total capacity withdrawn after the operation.
+	Revoked float64
+	// Evicted holds the tasks this Revoke evicted, in eviction order
+	// (lowest value first).
+	Evicted task.Set
+	// Readmitted holds the tasks this Restore readmitted, in
+	// readmission order (highest value first).
+	Readmitted task.Set
+	// Parked holds the tasks still parked after the operation.
+	Parked task.Set
+}
+
+// Revoke models a capacity loss — a struck core whose recovery eats
+// into the period, a mode squeezed by an external reconfiguration —
+// by withdrawing capacity time units from the period. The live
+// configuration is recomputed on the reduced capacity P − revoked; if
+// the survivors' slots no longer fit, the lowest-value tasks under pol
+// are evicted one at a time (one incremental profile patch each) until
+// they do. Evicted tasks are parked, not forgotten: their names stay
+// claimed and Restore readmits them by value as capacity returns.
+// Revocations stack; Revoked reports the running total.
+//
+// Revoke recomputes all three mode slots to their minima, so any
+// padding a hand-built initial configuration carried is compacted —
+// under capacity loss every spare time unit is needed.
+//
+// If even the empty task set does not fit (the mode overheads alone
+// exceed the remaining capacity) the revocation is rejected and
+// nothing changes. Failures wrap ErrRejected.
+func (m *Manager) Revoke(capacity float64, pol Policy) (*DegradeReport, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("%w: revoked capacity %g must be positive", ErrRejected, capacity)
+	}
+	touched := m.lockAll()
+	defer unlockChannels(touched)
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	deg := m.deg.Load()
+	newRevoked := deg.revoked + capacity
+	reduced := &degradeState{revoked: newRevoked}
+	live := append(task.Set(nil), *m.live.Load()...)
+	var evicted task.Set
+	for {
+		next, _, _ := m.candidateLocked(touched)
+		if m.fits(next, reduced) {
+			break
+		}
+		if len(live) == 0 {
+			return nil, fmt.Errorf("%w: revoking %.6f leaves capacity %.6f but the mode overheads alone need %.6f",
+				ErrRejected, capacity, m.p-newRevoked, m.over.Total())
+		}
+		victim := 0
+		for i := 1; i < len(live); i++ {
+			if pol.shedBefore(live[i], live[victim]) {
+				victim = i
+			}
+		}
+		t := live[victim]
+		live = append(live[:victim], live[victim+1:]...)
+		tc := findTouched(touched, t)
+		fresh, err := tc.prof.WithoutTasks(task.Set{t})
+		if err != nil {
+			return nil, fmt.Errorf("%w: evicting %q: %v", ErrRejected, t.Name, err)
+		}
+		tc.prof, tc.minq = fresh, fresh.MinQ(m.p)
+		tc.patches++
+		evicted = append(evicted, t)
+	}
+	next, _, _ := m.candidateLocked(touched)
+	if err := next.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	for _, tc := range touched {
+		tc.st.prof = tc.prof
+		tc.st.minq = tc.minq
+		tc.st.patches += tc.patches
+	}
+	parked := append(append(task.Set(nil), deg.parked...), evicted...)
+	m.live.Store(&live)
+	m.cfg.Store(&next)
+	m.deg.Store(&degradeState{revoked: newRevoked, parked: parked})
+	m.nameMu.Lock()
+	for _, t := range evicted {
+		m.names[t.Name].parked = true
+	}
+	m.nameMu.Unlock()
+	m.emit(Event{Kind: trace.Degraded, Revoked: newRevoked})
+	if len(evicted) > 0 {
+		m.emit(Event{Kind: trace.Evicted, Tasks: evicted.Names(), Revoked: newRevoked})
+	}
+	return &DegradeReport{Revoked: newRevoked, Evicted: evicted, Parked: parked}, nil
+}
+
+// Restore returns capacity time units withdrawn by earlier Revoke
+// calls and readmits parked tasks into the recovered room, highest
+// value first under pol — each readmission is one incremental profile
+// patch, kept only if the grown slots still fit. Tasks that do not fit
+// yet stay parked for the next Restore. Restoring more than is
+// currently revoked is rejected. Failures wrap ErrRejected.
+func (m *Manager) Restore(capacity float64, pol Policy) (*DegradeReport, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("%w: restored capacity %g must be positive", ErrRejected, capacity)
+	}
+	touched := m.lockAll()
+	defer unlockChannels(touched)
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	deg := m.deg.Load()
+	if capacity > deg.revoked+core.SlotFitTol {
+		return nil, fmt.Errorf("%w: restoring %.6f but only %.6f is revoked", ErrRejected, capacity, deg.revoked)
+	}
+	newRevoked := deg.revoked - capacity
+	if newRevoked < 0 {
+		newRevoked = 0
+	}
+	restored := &degradeState{revoked: newRevoked}
+	candidates := append(task.Set(nil), deg.parked...)
+	// Readmit highest value first; shedBefore orders lowest first, so
+	// reverse it.
+	sort.SliceStable(candidates, func(i, j int) bool { return pol.shedBefore(candidates[j], candidates[i]) })
+	var readmitted task.Set
+	stillParked := make(task.Set, 0, len(candidates))
+	for _, t := range candidates {
+		tc := findTouched(touched, t)
+		trial, err := tc.prof.WithTasks(task.Set{t})
+		if err != nil {
+			stillParked = append(stillParked, t)
+			continue
+		}
+		oldProf, oldMinq := tc.prof, tc.minq
+		tc.prof, tc.minq = trial, trial.MinQ(m.p)
+		if next, _, _ := m.candidateLocked(touched); m.fits(next, restored) {
+			tc.patches++
+			readmitted = append(readmitted, t)
+		} else {
+			tc.prof, tc.minq = oldProf, oldMinq
+			stillParked = append(stillParked, t)
+		}
+	}
+	next, _, _ := m.candidateLocked(touched)
+	if err := next.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	for _, tc := range touched {
+		tc.st.prof = tc.prof
+		tc.st.minq = tc.minq
+		tc.st.patches += tc.patches
+	}
+	// Keep eviction order for the surviving parked set.
+	live := append(append(task.Set(nil), *m.live.Load()...), readmitted...)
+	parked := make(task.Set, 0, len(stillParked))
+	back := make(map[string]bool, len(readmitted))
+	for _, t := range readmitted {
+		back[t.Name] = true
+	}
+	for _, t := range deg.parked {
+		if !back[t.Name] {
+			parked = append(parked, t)
+		}
+	}
+	m.live.Store(&live)
+	m.cfg.Store(&next)
+	m.deg.Store(&degradeState{revoked: newRevoked, parked: parked})
+	m.nameMu.Lock()
+	for _, t := range readmitted {
+		m.names[t.Name].parked = false
+	}
+	m.nameMu.Unlock()
+	m.emit(Event{Kind: trace.Restored, Revoked: newRevoked})
+	if len(readmitted) > 0 {
+		m.emit(Event{Kind: trace.Readmitted, Tasks: readmitted.Names(), Revoked: newRevoked})
+	}
+	return &DegradeReport{Revoked: newRevoked, Readmitted: readmitted, Parked: parked}, nil
+}

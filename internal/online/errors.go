@@ -1,0 +1,216 @@
+package online
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/task"
+)
+
+// ErrRejected is the sentinel every failed reconfiguration wraps:
+// admissions that do not fit, removals of unknown tasks, revocations
+// that cannot be represented. errors.Is(err, ErrRejected) holds for
+// every error the manager returns, so callers have one uniform check.
+var ErrRejected = errors.New("online: admission rejected")
+
+// ErrBusy marks the transient subclass of rejections: the operation
+// collided with a reconfiguration still in flight (a name reserved by
+// an uncommitted batch). Unlike a capacity rejection the conflict
+// clears by itself when the other batch commits or aborts, so callers
+// should retry — Backoff.Retry does exactly that. ErrBusy errors also
+// wrap ErrRejected.
+var ErrBusy = errors.New("online: conflicting reconfiguration in flight")
+
+// VerdictCode classifies the fate of one batch member.
+type VerdictCode int
+
+const (
+	// VerdictAdmitted: the task was admitted.
+	VerdictAdmitted VerdictCode = iota
+	// VerdictInvalid: the task failed validation (or is unnamed, or
+	// repeats a name already listed in the batch).
+	VerdictInvalid
+	// VerdictNameTaken: the name belongs to an admitted or parked task.
+	VerdictNameTaken
+	// VerdictBusy: the name is reserved by an in-flight batch; the
+	// conflict is transient and the admission can be retried.
+	VerdictBusy
+	// VerdictShed: the task is individually admissible but was shed by
+	// the value policy because the whole group did not fit.
+	VerdictShed
+	// VerdictRejected: the task was a member of an all-or-nothing batch
+	// whose slots did not fit; nothing was admitted.
+	VerdictRejected
+)
+
+// String names the verdict.
+func (c VerdictCode) String() string {
+	switch c {
+	case VerdictAdmitted:
+		return "admitted"
+	case VerdictInvalid:
+		return "invalid"
+	case VerdictNameTaken:
+		return "name-taken"
+	case VerdictBusy:
+		return "busy"
+	case VerdictShed:
+		return "shed"
+	case VerdictRejected:
+		return "rejected"
+	}
+	return fmt.Sprintf("VerdictCode(%d)", int(c))
+}
+
+// TaskVerdict is the typed per-task outcome of a batch admission.
+type TaskVerdict struct {
+	Task   task.Task
+	Code   VerdictCode
+	Detail string
+}
+
+func (v TaskVerdict) String() string {
+	if v.Detail == "" {
+		return fmt.Sprintf("task %q %s", v.Task.Name, v.Code)
+	}
+	return fmt.Sprintf("task %q %s: %s", v.Task.Name, v.Code, v.Detail)
+}
+
+// SlotOverflow describes one mode whose reshaped slot no longer fits
+// the period: the slot the reconfiguration asked for next to the
+// maximum the mode could actually take.
+type SlotOverflow struct {
+	// Mode is the overflowing mode.
+	Mode task.Mode
+	// Channel is the binding channel of the mode — the channel whose
+	// demand sizes the slot.
+	Channel int
+	// Requested is the slot the reshape needs (overhead included).
+	Requested float64
+	// Max is the most the available capacity could give the mode: the
+	// capacity minus the slots held by the other modes.
+	Max float64
+	// Period is the slot-cycle period P.
+	Period float64
+	// Revoked is the capacity withdrawn by Revoke at decision time;
+	// the available capacity is Period − Revoked.
+	Revoked float64
+}
+
+func (o SlotOverflow) String() string {
+	if o.Revoked > 0 {
+		return fmt.Sprintf("mode %s (channel %d) needs slot %.6f but at most %.6f fits (capacity %.6f = period %.6f minus %.6f revoked, minus %.6f held by the other slots)",
+			o.Mode, o.Channel, o.Requested, o.Max, o.Period-o.Revoked, o.Period, o.Revoked, o.Period-o.Revoked-o.Max)
+	}
+	return fmt.Sprintf("mode %s needs slot %.6f but at most %.6f fits (period %.6f minus %.6f held by the other slots)",
+		o.Mode, o.Requested, o.Max, o.Period, o.Period-o.Max)
+}
+
+// Rejection is the structured error for rejected reconfigurations. It
+// reports which mode slots overflowed (with the binding channel and the
+// requested versus maximum slot) and the per-task verdicts of the
+// batch. It wraps ErrRejected always and ErrBusy for transient
+// conflicts, so errors.Is works uniformly while errors.As recovers the
+// detail.
+type Rejection struct {
+	// Overflows lists the modes whose slots no longer fit. Empty for
+	// structural rejections (invalid tasks, name conflicts).
+	Overflows []SlotOverflow
+	// Verdicts holds the per-task outcomes that caused the rejection.
+	Verdicts []TaskVerdict
+	// Busy marks a transient in-flight conflict (also ErrBusy).
+	Busy bool
+}
+
+// Error renders the rejection: the slot overflows when capacity was
+// the problem, otherwise the failing verdicts.
+func (r *Rejection) Error() string {
+	var parts []string
+	for _, o := range r.Overflows {
+		parts = append(parts, o.String())
+	}
+	if len(parts) == 0 {
+		for _, v := range r.Verdicts {
+			if v.Code != VerdictAdmitted {
+				parts = append(parts, v.String())
+			}
+		}
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "rejected")
+	}
+	return ErrRejected.Error() + ": " + strings.Join(parts, "; ")
+}
+
+// Unwrap makes the rejection match ErrRejected (and ErrBusy when the
+// conflict is transient) under errors.Is.
+func (r *Rejection) Unwrap() []error {
+	if r.Busy {
+		return []error{ErrRejected, ErrBusy}
+	}
+	return []error{ErrRejected}
+}
+
+// rejectTask builds a single-verdict structural rejection.
+func rejectTask(t task.Task, code VerdictCode, detail string) *Rejection {
+	return &Rejection{
+		Verdicts: []TaskVerdict{{Task: t, Code: code, Detail: detail}},
+		Busy:     code == VerdictBusy,
+	}
+}
+
+// Backoff retries an operation that fails with the transient ErrBusy:
+// an admission or removal that collided with a batch still in flight.
+// Non-transient errors (capacity rejections, unknown names) abort the
+// retry loop immediately — waiting cannot fix those.
+type Backoff struct {
+	// Attempts is the total number of tries (including the first);
+	// values below 1 default to 4.
+	Attempts int
+	// Base is the delay before the second try, doubling after each
+	// failure; 0 defaults to 100µs.
+	Base time.Duration
+	// Max caps the per-try delay; 0 defaults to 10ms.
+	Max time.Duration
+	// Sleep is the wait function, a seam for tests; nil uses
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Retry runs fn until it succeeds, fails non-transiently, or exhausts
+// the attempts. The last error is returned (still ErrBusy-wrapped when
+// the conflict never cleared).
+func (b Backoff) Retry(fn func() error) error {
+	attempts := b.Attempts
+	if attempts < 1 {
+		attempts = 4
+	}
+	delay := b.Base
+	if delay <= 0 {
+		delay = 100 * time.Microsecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 10 * time.Millisecond
+	}
+	sleep := b.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil || !errors.Is(err, ErrBusy) {
+			return err
+		}
+		if i < attempts-1 {
+			sleep(delay)
+			delay *= 2
+			if delay > max {
+				delay = max
+			}
+		}
+	}
+	return err
+}

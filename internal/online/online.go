@@ -43,6 +43,26 @@
 //     by the compile properties — so a long-lived high-churn manager's
 //     footprint stays proportional to the live task set.
 //
+// And it degrades gracefully instead of failing hard:
+//
+//   - Partial admission: AdmitBatchPartial keeps the admissible part of
+//     a batch that does not fit wholesale, shedding the lowest-value
+//     members under a caller-supplied Policy — one profile patch per
+//     shed, not a recompile per candidate — and reports every member's
+//     fate as a typed TaskVerdict.
+//
+//   - Degraded-mode operation: Revoke models a capacity loss (a struck
+//     core, a reconfiguration squeeze) by withdrawing part of the
+//     period; the manager evicts the lowest-value tasks until the
+//     survivors fit the reduced capacity and parks them for Restore,
+//     which readmits them by value as capacity returns.
+//
+//   - Typed errors: every failure wraps ErrRejected; transient
+//     in-flight conflicts additionally wrap ErrBusy (retry them with
+//     Backoff.Retry); capacity failures are *Rejection values carrying
+//     the offending mode, binding channel, requested versus maximum
+//     slot, and per-task verdicts.
+//
 // The theorem-level whole-system re-check — which rebuilds every
 // channel's demand from scratch and would dominate each admission — is
 // available on demand as Verify instead of being paid on every reshape.
@@ -51,13 +71,13 @@ package online
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/task"
+	"repro/internal/trace"
 )
 
 // DefaultConsolidateEvery is the automatic consolidation trigger a new
@@ -79,12 +99,15 @@ type Manager struct {
 	cfg atomic.Pointer[core.Config]
 	// live is the committed task-set snapshot, same publication scheme.
 	live atomic.Pointer[task.Set]
+	// deg is the committed degraded-mode state (revoked capacity plus
+	// the parked tasks awaiting Restore), same publication scheme.
+	deg atomic.Pointer[degradeState]
 
 	// commitMu serialises the decide-and-swap step of every
 	// reconfiguration: the per-mode worst-quantum comparison against the
-	// period, the cfg/live swaps and the minq cache updates all happen
-	// under it. The expensive profile patching happens before it, under
-	// the channel locks only.
+	// available capacity, the cfg/live/deg swaps and the minq cache
+	// updates all happen under it. The expensive profile patching
+	// happens before it, under the channel locks only.
 	commitMu sync.Mutex
 
 	// nameMu guards names, the global task registry. It is a leaf lock:
@@ -97,15 +120,47 @@ type Manager struct {
 	// consolidateEvery is the automatic consolidation threshold
 	// (atomic so SetConsolidateEvery needs no lock).
 	consolidateEvery atomic.Int64
+
+	// events is the optional robustness-event sink (atomic so
+	// SetEventSink needs no lock).
+	events atomic.Pointer[func(Event)]
+}
+
+// degradeState is the immutable snapshot of the degraded-mode state.
+type degradeState struct {
+	// revoked is the capacity withdrawn from the period by Revoke.
+	revoked float64
+	// parked holds the tasks evicted under capacity loss, in eviction
+	// order, awaiting readmission by Restore.
+	parked task.Set
+}
+
+// Event is one robustness notification: tasks shed by partial
+// admission, evicted by a revocation, or readmitted by a restore, and
+// the capacity transitions themselves. Delivered synchronously to the
+// sink installed with SetEventSink.
+type Event struct {
+	// Kind is trace.Shed, trace.Evicted, trace.Readmitted,
+	// trace.Degraded or trace.Restored.
+	Kind trace.Kind
+	// Tasks names the affected tasks (shed, evicted or readmitted), in
+	// policy order.
+	Tasks []string
+	// Revoked is the total capacity withdrawn after the transition.
+	Revoked float64
 }
 
 // nameEntry records one admitted (or in-flight) task under its unique
 // name. pending entries are reserved by an uncommitted AdmitBatch or
 // marked for departure by an uncommitted RemoveBatch; they block
 // conflicting reconfigurations until their batch commits or aborts.
+// parked entries were evicted by Revoke and await Restore: the task is
+// out of the live set but its name stays claimed so readmission cannot
+// collide.
 type nameEntry struct {
 	t       task.Task
 	pending bool
+	parked  bool
 }
 
 // channelState is one shard: a channel's compiled demand profile and
@@ -187,6 +242,7 @@ func NewManagerFromCompiled(cp *core.CompiledProblem, cfg core.Config) (*Manager
 	m.live.Store(&live)
 	cfgCopy := cfg
 	m.cfg.Store(&cfgCopy)
+	m.deg.Store(&degradeState{})
 	return m, nil
 }
 
@@ -195,28 +251,64 @@ func NewManagerFromCompiled(cp *core.CompiledProblem, cfg core.Config) (*Manager
 func (m *Manager) Config() core.Config { return *m.cfg.Load() }
 
 // Tasks returns a copy of the currently admitted task set (lock-free).
+// Tasks evicted by Revoke are parked, not admitted; see Parked.
 func (m *Manager) Tasks() task.Set { return append(task.Set(nil), *m.live.Load()...) }
 
-// Slack returns the bandwidth still redistributable (lock-free).
+// Slack returns the bandwidth still redistributable (lock-free): the
+// period minus the slots. Under degraded operation part of it is
+// revoked; subtract Revoked for the spendable remainder.
 func (m *Manager) Slack() float64 { return m.cfg.Load().Slack() }
+
+// Revoked returns the capacity currently withdrawn by Revoke
+// (lock-free). Zero in normal operation.
+func (m *Manager) Revoked() float64 { return m.deg.Load().revoked }
+
+// Parked returns a copy of the tasks evicted under capacity loss and
+// awaiting Restore, in eviction order (lock-free).
+func (m *Manager) Parked() task.Set {
+	return append(task.Set(nil), m.deg.Load().parked...)
+}
+
+// SetEventSink installs fn as the robustness-event sink: it receives
+// an Event for every shed, eviction, readmission and capacity
+// transition. The sink is invoked synchronously while the manager
+// holds internal locks, so it must be fast and must not call back into
+// the manager. nil removes the sink.
+func (m *Manager) SetEventSink(fn func(Event)) {
+	if fn == nil {
+		m.events.Store(nil)
+		return
+	}
+	m.events.Store(&fn)
+}
+
+func (m *Manager) emit(ev Event) {
+	if fn := m.events.Load(); fn != nil {
+		(*fn)(ev)
+	}
+}
 
 // Verify re-checks the live configuration against the original theorems
 // (core.Problem.Verify): every channel of every mode schedulable on its
-// (α, Δ) supply, structure valid. It is the independent oracle for the
-// compiled fast path — full recompilation cost, so it is offered on
+// (α, Δ) supply, structure valid, and — under degraded operation — the
+// slots within the unrevoked capacity. It is the independent oracle for
+// the compiled fast path — full recompilation cost, so it is offered on
 // demand rather than paid on every reshape. It takes the commit mutex
-// briefly to snapshot a consistent (configuration, task set) pair.
+// briefly to snapshot a consistent (configuration, task set, degraded
+// state) triple.
 func (m *Manager) Verify() error {
 	m.commitMu.Lock()
 	cfg := *m.cfg.Load()
 	tasks := append(task.Set(nil), *m.live.Load()...)
+	deg := m.deg.Load()
 	m.commitMu.Unlock()
+	if cfg.Q.Total() > cfg.P-deg.revoked+core.SlotFitTol {
+		return fmt.Errorf("online: slots total %.6f exceed the unrevoked capacity %.6f (period %.6f minus %.6f revoked)",
+			cfg.Q.Total(), cfg.P-deg.revoked, cfg.P, deg.revoked)
+	}
 	pr := core.Problem{Tasks: tasks, Alg: m.alg, O: m.over}
 	return pr.Verify(cfg)
 }
-
-// ErrRejected wraps all admission failures.
-var ErrRejected = fmt.Errorf("online: admission rejected")
 
 // Admit attempts to add one task at run time; it is AdmitBatch of a
 // single-element batch. The task's mode slot is resized to the new
@@ -234,22 +326,30 @@ func (m *Manager) Remove(name string) error { return m.RemoveBatch([]string{name
 // configuration swap — or none is and the system is untouched. Each
 // task must carry a unique non-empty name (anonymous tasks would be
 // unremovable, and duplicates would make their namesake unaddressable);
-// a name may not collide with an admitted task or with the rest of the
-// batch. Batches touching disjoint channels reconfigure concurrently.
-// An empty batch is a no-op.
+// a name may not collide with an admitted or parked task or with the
+// rest of the batch. Batches touching disjoint channels reconfigure
+// concurrently. An empty batch is a no-op. Failures wrap ErrRejected
+// (and ErrBusy for transient in-flight conflicts); capacity failures
+// are *Rejection values with the overflow detail. Use AdmitBatchPartial
+// to keep the admissible part of an overflowing batch instead.
 func (m *Manager) AdmitBatch(batch []task.Task) error {
 	if len(batch) == 0 {
 		return nil
 	}
 	norm := make(task.Set, len(batch))
+	inBatch := make(map[string]bool, len(batch))
 	for i, t := range batch {
 		t = t.Normalized()
 		if err := t.Validate(); err != nil {
-			return fmt.Errorf("%w: %v", ErrRejected, err)
+			return rejectTask(t, VerdictInvalid, err.Error())
 		}
 		if t.Name == "" {
-			return fmt.Errorf("%w: task must have a name (anonymous tasks cannot be removed later)", ErrRejected)
+			return rejectTask(t, VerdictInvalid, "task must have a name (anonymous tasks cannot be removed later)")
 		}
+		if inBatch[t.Name] {
+			return rejectTask(t, VerdictInvalid, "name duplicated in the batch")
+		}
+		inBatch[t.Name] = true
 		norm[i] = t
 	}
 	if err := m.reserveAdmit(norm); err != nil {
@@ -261,11 +361,11 @@ func (m *Manager) AdmitBatch(batch []task.Task) error {
 		fresh, err := tc.st.prof.WithTasks(norm.ByChannel(tc.st.mode, tc.st.ch))
 		if err != nil {
 			m.unreserveAdmit(norm)
-			return fmt.Errorf("%w: %v", ErrRejected, err)
+			return &Rejection{Verdicts: []TaskVerdict{{Code: VerdictInvalid, Detail: err.Error()}}}
 		}
-		tc.prof, tc.minq = fresh, fresh.MinQ(m.p)
+		tc.prof, tc.minq, tc.patches = fresh, fresh.MinQ(m.p), 1
 	}
-	if err := m.commit(touched, norm, nil); err != nil {
+	if err := m.commit(touched, norm, nil, nil); err != nil {
 		m.unreserveAdmit(norm)
 		return err
 	}
@@ -276,28 +376,54 @@ func (m *Manager) AdmitBatch(batch []task.Task) error {
 // RemoveBatch releases a group of tasks by name in one reconfiguration,
 // shrinking the affected mode slots back to the new minima and
 // reclaiming the difference as slack. Like AdmitBatch it is
-// all-or-nothing: every name must denote an admitted task and appear
-// once, or nothing is removed. An empty batch is a no-op.
+// all-or-nothing: every name must denote an admitted or parked task and
+// appear once, or nothing is removed (removing a parked task cancels
+// its pending readmission). An empty batch is a no-op. Failures wrap
+// ErrRejected; a name reserved by an in-flight batch additionally
+// wraps ErrBusy.
 func (m *Manager) RemoveBatch(names []string) error {
 	if len(names) == 0 {
 		return nil
 	}
-	victims, err := m.reserveRemove(names)
+	victims, parked, err := m.reserveRemove(names)
 	if err != nil {
 		return err
 	}
-	touched := m.lockChannels(victims)
+	all := append(append(task.Set{}, victims...), parked...)
+	touched := m.lockChannels(all)
 	defer unlockChannels(touched)
-	for _, tc := range touched {
-		fresh, err := tc.st.prof.WithoutTasks(victims.ByChannel(tc.st.mode, tc.st.ch))
-		if err != nil {
-			m.unreserveRemove(victims)
-			return fmt.Errorf("online: %v", err)
+	// Re-split under the channel locks: a Revoke or Restore that ran
+	// between reservation and lock acquisition may have parked a live
+	// victim (or readmitted a parked one), and the two classes need
+	// different work — live victims leave the channel profiles, parked
+	// ones already did when they were evicted. Revoke/Restore hold every
+	// channel lock, so the classification is stable from here on.
+	m.nameMu.Lock()
+	live := make(task.Set, 0, len(all))
+	parked = parked[:0]
+	for _, t := range all {
+		if m.names[t.Name].parked {
+			parked = append(parked, t)
+		} else {
+			live = append(live, t)
 		}
-		tc.prof, tc.minq = fresh, fresh.MinQ(m.p)
 	}
-	if err := m.commit(touched, nil, victims); err != nil {
-		m.unreserveRemove(victims)
+	m.nameMu.Unlock()
+	for _, tc := range touched {
+		group := live.ByChannel(tc.st.mode, tc.st.ch)
+		if len(group) == 0 {
+			tc.prof, tc.minq = tc.st.prof, tc.st.minq
+			continue
+		}
+		fresh, err := tc.st.prof.WithoutTasks(group)
+		if err != nil {
+			m.unreserveRemove(live, parked)
+			return fmt.Errorf("%w: %v", ErrRejected, err)
+		}
+		tc.prof, tc.minq, tc.patches = fresh, fresh.MinQ(m.p), 1
+	}
+	if err := m.commit(touched, nil, live, parked); err != nil {
+		m.unreserveRemove(live, parked)
 		return err // cannot happen: shrinking always fits; defensive
 	}
 	m.maybeConsolidate(touched)
@@ -305,22 +431,41 @@ func (m *Manager) RemoveBatch(names []string) error {
 }
 
 // reserveAdmit claims the batch's names in the registry, rejecting
-// duplicates within the batch and collisions with admitted or in-flight
-// tasks. On success the names stay reserved (pending) until the batch
-// commits or unreserveAdmit rolls them back.
+// duplicates within the batch and collisions with admitted, parked or
+// in-flight tasks. On success the names stay reserved (pending) until
+// the batch commits or unreserveAdmit rolls them back.
 func (m *Manager) reserveAdmit(batch task.Set) error {
 	m.nameMu.Lock()
 	defer m.nameMu.Unlock()
 	for i, t := range batch {
-		if _, exists := m.names[t.Name]; exists {
+		if e, exists := m.names[t.Name]; exists {
 			for _, u := range batch[:i] { // roll back this batch's claims
 				delete(m.names, u.Name)
 			}
-			return fmt.Errorf("%w: task %q already admitted", ErrRejected, t.Name)
+			return rejectTask(t, collisionVerdict(e), collisionDetail(e))
 		}
 		m.names[t.Name] = &nameEntry{t: t, pending: true}
 	}
 	return nil
+}
+
+// collisionVerdict classifies a name collision: transient (in-flight
+// batch), parked, or plainly taken.
+func collisionVerdict(e *nameEntry) VerdictCode {
+	if e.pending {
+		return VerdictBusy
+	}
+	return VerdictNameTaken
+}
+
+func collisionDetail(e *nameEntry) string {
+	switch {
+	case e.pending:
+		return "name reserved by an in-flight batch"
+	case e.parked:
+		return "task evicted and parked for readmission"
+	}
+	return "task already admitted"
 }
 
 func (m *Manager) unreserveAdmit(batch task.Set) {
@@ -332,54 +477,74 @@ func (m *Manager) unreserveAdmit(batch task.Set) {
 }
 
 // reserveRemove marks the named entries pending and returns their task
-// values (the exact values the channel profiles hold). Names must be
-// unique within the batch and denote committed tasks; a task another
-// batch is still admitting or removing counts as absent.
-func (m *Manager) reserveRemove(names []string) (task.Set, error) {
+// values (the exact values the channel profiles hold), split into live
+// victims — whose channel profiles must be patched — and parked
+// victims, which left the profiles when they were evicted. Names must
+// be unique within the batch and denote committed tasks; a task another
+// batch is still admitting or removing is a transient conflict
+// (ErrBusy).
+func (m *Manager) reserveRemove(names []string) (victims, parked task.Set, err error) {
 	m.nameMu.Lock()
 	defer m.nameMu.Unlock()
-	victims := make(task.Set, 0, len(names))
+	victims = make(task.Set, 0, len(names))
 	rollback := func() {
 		for _, t := range victims {
+			m.names[t.Name].pending = false
+		}
+		for _, t := range parked {
 			m.names[t.Name].pending = false
 		}
 	}
 	for i, name := range names {
 		if name == "" {
 			rollback()
-			return nil, fmt.Errorf("online: cannot remove by empty name")
+			return nil, nil, fmt.Errorf("%w: cannot remove by empty name", ErrRejected)
 		}
 		for _, prev := range names[:i] {
 			if prev == name {
 				rollback()
-				return nil, fmt.Errorf("online: task %q listed twice in the batch", name)
+				return nil, nil, fmt.Errorf("%w: task %q listed twice in the batch", ErrRejected, name)
 			}
 		}
 		e, ok := m.names[name]
-		if !ok || e.pending {
+		if !ok {
 			rollback()
-			return nil, fmt.Errorf("online: no task %q", name)
+			return nil, nil, fmt.Errorf("%w: no task %q", ErrRejected, name)
+		}
+		if e.pending {
+			rollback()
+			return nil, nil, fmt.Errorf("%w: task %q: %w", ErrRejected, name, ErrBusy)
 		}
 		e.pending = true
-		victims = append(victims, e.t)
+		if e.parked {
+			parked = append(parked, e.t)
+		} else {
+			victims = append(victims, e.t)
+		}
 	}
-	return victims, nil
+	return victims, parked, nil
 }
 
-func (m *Manager) unreserveRemove(victims task.Set) {
+func (m *Manager) unreserveRemove(victims, parked task.Set) {
 	m.nameMu.Lock()
 	for _, t := range victims {
+		m.names[t.Name].pending = false
+	}
+	for _, t := range parked {
 		m.names[t.Name].pending = false
 	}
 	m.nameMu.Unlock()
 }
 
 // touchedChannel pairs a locked shard with the freshly patched profile
-// that will replace its committed one.
+// that will replace its committed one. patches counts the incremental
+// updates the candidate accumulated (partial admission sheds add more
+// than one), folded into the shard's consolidation counter on commit.
 type touchedChannel struct {
-	st   *channelState
-	prof *analysis.Profile
-	minq float64
+	st      *channelState
+	prof    *analysis.Profile
+	minq    float64
+	patches int
 }
 
 // lockChannels locks the shards the batch touches, in (mode, channel)
@@ -408,32 +573,46 @@ func (m *Manager) lockChannels(batch task.Set) []*touchedChannel {
 	return touched
 }
 
+// lockAll locks every shard in (mode, channel) order — the global
+// footprint Revoke and Restore need, consistent with lockChannels so
+// degrade operations and batches cannot deadlock. Each shard's
+// candidate starts at its committed profile.
+func (m *Manager) lockAll() []*touchedChannel {
+	var touched []*touchedChannel
+	for _, mode := range task.Modes() {
+		for _, st := range m.channels[mode] {
+			st.mu.Lock()
+			touched = append(touched, &touchedChannel{st: st, prof: st.prof, minq: st.minq})
+		}
+	}
+	return touched
+}
+
 func unlockChannels(touched []*touchedChannel) {
 	for _, tc := range touched {
 		tc.st.mu.Unlock()
 	}
 }
 
-// commit is the decide-and-swap step, serialised on commitMu: recompute
-// the touched modes' slots from the cached per-channel minima (fresh
-// values for the touched channels), check the slot total against the
-// period, and — on acceptance — publish the new configuration, task
-// snapshot, profiles and name-registry state in one swap. The caller
-// holds the touched channels' locks.
-func (m *Manager) commit(touched []*touchedChannel, added, removed task.Set) error {
-	m.commitMu.Lock()
-	defer m.commitMu.Unlock()
-	next := *m.cfg.Load()
-	var modes []task.Mode
+// candidateLocked computes the configuration the touched channels'
+// candidate profiles imply: each touched mode's slot is recomputed from
+// the cached per-channel minima (candidate values for the touched
+// channels), untouched modes keep their slots. It also reports each
+// recomputed mode's binding channel — the channel whose demand sizes
+// the slot — for overflow reporting. Caller holds commitMu and the
+// touched channels' locks.
+func (m *Manager) candidateLocked(touched []*touchedChannel) (next core.Config, modes []task.Mode, binding map[task.Mode]int) {
+	next = *m.cfg.Load()
 	for _, tc := range touched {
 		mode := tc.st.mode
 		if len(modes) == 0 || modes[len(modes)-1] != mode {
 			modes = append(modes, mode) // touched is mode-sorted
 		}
 	}
+	binding = make(map[task.Mode]int, len(modes))
 	for _, mode := range modes {
-		worst := 0.0
-		for _, st := range m.channels[mode] {
+		worst, bind := 0.0, 0
+		for ch, st := range m.channels[mode] {
 			q := st.minq
 			for _, tc := range touched {
 				if tc.st == st {
@@ -442,13 +621,35 @@ func (m *Manager) commit(touched []*touchedChannel, added, removed task.Set) err
 				}
 			}
 			if q > worst {
-				worst = q
+				worst, bind = q, ch
 			}
 		}
 		next.Q = next.Q.With(mode, worst+m.over.Of(mode))
+		binding[mode] = bind
 	}
-	if next.Q.Total() > next.P+core.SlotFitTol {
-		return rejectOverflow(next, modes)
+	return next, modes, binding
+}
+
+// fits reports whether the candidate slots fit the unrevoked capacity.
+func (m *Manager) fits(next core.Config, deg *degradeState) bool {
+	return next.Q.Total() <= m.p-deg.revoked+core.SlotFitTol
+}
+
+// commit is the decide-and-swap step, serialised on commitMu: recompute
+// the touched modes' slots from the cached per-channel minima (fresh
+// values for the touched channels), check the slot total against the
+// available capacity, and — on acceptance — publish the new
+// configuration, task snapshot, profiles and name-registry state in one
+// swap. removedParked names leave the parked set and the registry
+// without profile work (their demand left when they were evicted). The
+// caller holds the touched channels' locks.
+func (m *Manager) commit(touched []*touchedChannel, added, removed, removedParked task.Set) error {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	deg := m.deg.Load()
+	next, modes, binding := m.candidateLocked(touched)
+	if !m.fits(next, deg) {
+		return m.rejectOverflow(next, modes, binding, deg, added)
 	}
 	// Structural sanity before switching. The schedulability of the new
 	// configuration follows from the compiled inversion itself: each
@@ -460,13 +661,22 @@ func (m *Manager) commit(touched []*touchedChannel, added, removed task.Set) err
 	if err := next.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrRejected, err)
 	}
+	m.publishLocked(touched, added, removed, removedParked, next, deg)
+	return nil
+}
+
+// publishLocked installs the decided state: the touched shards'
+// profiles and minima, the live task snapshot, the configuration, the
+// parked set and the name registry. Caller holds commitMu and the
+// touched channels' locks.
+func (m *Manager) publishLocked(touched []*touchedChannel, added, removed, removedParked task.Set, next core.Config, deg *degradeState) {
 	for _, tc := range touched {
 		tc.st.prof = tc.prof
 		tc.st.minq = tc.minq
-		tc.st.patches++
+		tc.st.patches += tc.patches
 	}
 	old := *m.live.Load()
-	live := make(task.Set, 0, len(old)+len(added)-len(removed))
+	live := make(task.Set, 0, len(old)+len(added))
 	for _, t := range old {
 		if _, gone := removed.Find(t.Name); !gone || t.Name == "" {
 			live = append(live, t)
@@ -475,6 +685,15 @@ func (m *Manager) commit(touched []*touchedChannel, added, removed task.Set) err
 	live = append(live, added...)
 	m.live.Store(&live)
 	m.cfg.Store(&next)
+	if len(removedParked) > 0 {
+		parked := make(task.Set, 0, len(deg.parked))
+		for _, t := range deg.parked {
+			if _, gone := removedParked.Find(t.Name); !gone {
+				parked = append(parked, t)
+			}
+		}
+		m.deg.Store(&degradeState{revoked: deg.revoked, parked: parked})
+	}
 	m.nameMu.Lock()
 	for _, t := range added {
 		m.names[t.Name].pending = false
@@ -482,23 +701,35 @@ func (m *Manager) commit(touched []*touchedChannel, added, removed task.Set) err
 	for _, t := range removed {
 		delete(m.names, t.Name)
 	}
+	for _, t := range removedParked {
+		delete(m.names, t.Name)
+	}
 	m.nameMu.Unlock()
-	return nil
 }
 
-// rejectOverflow reports why the candidate slots do not fit: for each
-// reshaped mode, the slot it asked for next to the actual maximum the
-// mode could take — the period minus the slots held by the other modes
-// (admissible within core.SlotFitTol).
-func rejectOverflow(next core.Config, modes []task.Mode) error {
-	parts := make([]string, len(modes))
-	for i, mode := range modes {
+// rejectOverflow builds the typed rejection for candidate slots that do
+// not fit: for each reshaped mode, the slot it asked for next to the
+// actual maximum the available capacity could give it — the capacity
+// minus the slots held by the other modes (admissible within
+// core.SlotFitTol) — plus the binding channel and a verdict for every
+// batch member of the all-or-nothing batch.
+func (m *Manager) rejectOverflow(next core.Config, modes []task.Mode, binding map[task.Mode]int, deg *degradeState, batch task.Set) error {
+	rej := &Rejection{}
+	for _, mode := range modes {
 		need := next.Q.Of(mode)
-		max := next.P - (next.Q.Total() - need)
-		parts[i] = fmt.Sprintf("mode %s needs slot %.6f but at most %.6f fits (period %.6f minus %.6f held by the other slots)",
-			mode, need, max, next.P, next.Q.Total()-need)
+		rej.Overflows = append(rej.Overflows, SlotOverflow{
+			Mode:      mode,
+			Channel:   binding[mode],
+			Requested: need,
+			Max:       m.p - deg.revoked - (next.Q.Total() - need),
+			Period:    m.p,
+			Revoked:   deg.revoked,
+		})
 	}
-	return fmt.Errorf("%w: %s", ErrRejected, strings.Join(parts, "; "))
+	for _, t := range batch {
+		rej.Verdicts = append(rej.Verdicts, TaskVerdict{Task: t, Code: VerdictRejected, Detail: "all-or-nothing batch did not fit"})
+	}
+	return rej
 }
 
 // SetConsolidateEvery sets the automatic consolidation trigger: after n

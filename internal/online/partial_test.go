@@ -1,0 +1,302 @@
+package online
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/region"
+	"repro/internal/task"
+)
+
+// minimalManager builds a manager on the max-flexibility period from
+// the minimal-slot ConfigFor configuration — the shape the from-scratch
+// oracle re-derives — and returns the compiled problem for siblings.
+func minimalManager(t testing.TB) (*Manager, *core.CompiledProblem, core.Problem) {
+	t.Helper()
+	pr := core.Problem{
+		Tasks: task.PaperTaskSet(),
+		Alg:   analysis.EDF,
+		O:     core.UniformOverheads(task.PaperOverheadTotal),
+	}
+	sol, err := design.Solve(pr, design.MaxFlexibility, region.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := pr.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := cp.ConfigFor(sol.Config.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManagerFromCompiled(cp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, cp, pr
+}
+
+// configOracle checks the live configuration against a from-scratch
+// compile-and-solve of the live set.
+func configOracle(t *testing.T, m *Manager, pr core.Problem, context string) {
+	t.Helper()
+	cfg := m.Config()
+	cp, err := core.Problem{Tasks: m.Tasks(), Alg: pr.Alg, O: pr.O}.Compile()
+	if err != nil {
+		t.Fatalf("%s: oracle compile: %v", context, err)
+	}
+	want, err := cp.ConfigFor(cfg.P)
+	if err != nil {
+		t.Fatalf("%s: oracle solve: %v", context, err)
+	}
+	if cfg != want {
+		t.Fatalf("%s: live config %+v differs from from-scratch solve %+v", context, cfg, want)
+	}
+}
+
+// TestPartialAdmissionSheds pins the deterministic shedding story: a
+// batch of two admissible tasks and one whale far beyond the slack
+// admits the two and sheds the whale with a typed verdict and the
+// pre-shedding overflow snapshot.
+func TestPartialAdmissionSheds(t *testing.T) {
+	m, _, pr := minimalManager(t)
+	batch := []task.Task{
+		{Name: "small-a", C: 0.02, T: 10, Mode: task.NF, Channel: 0},
+		{Name: "small-b", C: 0.02, T: 12, Mode: task.NF, Channel: 1},
+		{Name: "whale", C: 2.5, T: 10, Mode: task.NF, Channel: 2},
+	}
+	report, err := m.AdmitBatchPartial(batch, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report.Admitted.Names(); len(got) != 2 {
+		t.Fatalf("admitted %v, want the two small tasks", got)
+	}
+	if len(report.Rejected) != 1 || report.Rejected[0].Task.Name != "whale" || report.Rejected[0].Code != VerdictShed {
+		t.Fatalf("rejected %+v, want the whale shed", report.Rejected)
+	}
+	if len(report.Overflows) == 0 {
+		t.Error("report should snapshot the pre-shedding overflow")
+	}
+	if report.AllAdmitted() {
+		t.Error("AllAdmitted must be false when a member was shed")
+	}
+	rerr := report.Err()
+	if !errors.Is(rerr, ErrRejected) {
+		t.Errorf("report error should wrap ErrRejected, got %v", rerr)
+	}
+	if errors.Is(rerr, ErrBusy) {
+		t.Error("a shed verdict is not retryable and must not wrap ErrBusy")
+	}
+	var rej *Rejection
+	if !errors.As(rerr, &rej) {
+		t.Fatalf("report error should be a *Rejection, got %T", rerr)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("post-shed Verify: %v", err)
+	}
+	configOracle(t, m, pr, "post-shed")
+	// The whale's name must not stay reserved.
+	if err := m.Admit(task.Task{Name: "whale", C: 0.01, T: 10, Mode: task.NF, Channel: 2}); err != nil {
+		t.Fatalf("shed name should be free for reuse: %v", err)
+	}
+}
+
+// TestPartialMatchesAllOrNothingWhenEverythingFits checks the
+// bit-identity clause: on sibling managers built from one compilation,
+// AdmitBatch and AdmitBatchPartial of a batch that fits wholesale
+// produce identical configurations.
+func TestPartialMatchesAllOrNothingWhenEverythingFits(t *testing.T) {
+	m1, cp, _ := minimalManager(t)
+	cfg := m1.Config()
+	m2, err := NewManagerFromCompiled(cp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []task.Task{
+		{Name: "fit-a", C: 0.05, T: 10, Mode: task.NF, Channel: 3},
+		{Name: "fit-b", C: 0.03, T: 12, Mode: task.FS, Channel: 0},
+		{Name: "fit-c", C: 0.02, T: 16, Mode: task.FT, Channel: 0},
+	}
+	if err := m1.AdmitBatch(batch); err != nil {
+		t.Fatalf("batch should fit all-or-nothing: %v", err)
+	}
+	report, err := m2.AdmitBatchPartial(batch, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.AllAdmitted() {
+		t.Fatalf("partial path shed members of a fitting batch: %+v", report.Rejected)
+	}
+	if report.Err() != nil {
+		t.Errorf("Err() must be nil when everything was admitted, got %v", report.Err())
+	}
+	if len(report.Overflows) != 0 {
+		t.Errorf("no overflow should be snapshotted for a fitting batch: %+v", report.Overflows)
+	}
+	if c1, c2 := m1.Config(), m2.Config(); c1 != c2 {
+		t.Fatalf("partial path config %+v differs from all-or-nothing %+v", c2, c1)
+	}
+	checkProfilesFresh(t, m1, "all-or-nothing sibling")
+	checkProfilesFresh(t, m2, "partial sibling")
+}
+
+// TestPartialAdmissionProperty is the randomized property test of the
+// acceptance criteria. For random batches mixing admissible tasks and
+// oversized ones under random value policies:
+//
+//   - the admitted subset is feasible (Verify passes, and the live
+//     configuration equals the from-scratch solve bit-for-bit),
+//   - the report partitions the batch (every member admitted or
+//     holding exactly one verdict, nothing lost or duplicated),
+//   - the admitted set is greedy-maximal: no shed task can be admitted
+//     on its own afterwards (demand monotonicity makes the singleton
+//     check sufficient: a task that does not fit alone next to the
+//     admitted set fits next to no superset),
+//   - when nothing was shed the batch behaves exactly like AdmitBatch.
+func TestPartialAdmissionProperty(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	periods := []float64{8, 10, 12, 16, 20}
+	for trial := 0; trial < trials; trial++ {
+		m, _, pr := minimalManager(t)
+		before := m.Config()
+		k := 3 + rng.Intn(6)
+		values := make(map[string]float64, k)
+		batch := make([]task.Task, k)
+		for i := range batch {
+			mode := task.Modes()[rng.Intn(len(task.Modes()))]
+			c := 0.01 + 0.08*rng.Float64()
+			if rng.Intn(3) == 0 {
+				c = 0.3 + 1.2*rng.Float64() // likely needs shedding
+			}
+			name := fmt.Sprintf("t%d-g%d", trial, i)
+			batch[i] = task.Task{
+				Name: name, C: c, T: periods[rng.Intn(len(periods))],
+				Mode: mode, Channel: rng.Intn(mode.Channels()),
+			}
+			values[name] = rng.Float64()
+		}
+		pol := Policy{Value: func(tk task.Task) float64 { return values[tk.Name] }}
+		report, err := m.AdmitBatchPartial(batch, pol)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := m.Verify(); err != nil {
+			t.Fatalf("trial %d: Verify after partial admission: %v", trial, err)
+		}
+		configOracle(t, m, pr, fmt.Sprintf("trial %d", trial))
+
+		// Partition: every member exactly once across admitted/rejected.
+		fate := make(map[string]int, k)
+		for _, tk := range report.Admitted {
+			fate[tk.Name]++
+		}
+		for _, v := range report.Rejected {
+			fate[v.Task.Name]++
+		}
+		for _, tk := range batch {
+			if fate[tk.Name] != 1 {
+				t.Fatalf("trial %d: task %q appears %d times across admitted+rejected, want exactly 1",
+					trial, tk.Name, fate[tk.Name])
+			}
+		}
+
+		// Greedy-maximality: every shed task must still not fit alone.
+		for _, v := range report.Rejected {
+			if v.Code != VerdictShed {
+				continue
+			}
+			if err := m.Admit(v.Task); err == nil {
+				t.Fatalf("trial %d: shed task %q (value %.3f) fits after the fact — admitted set not maximal",
+					trial, v.Task.Name, values[v.Task.Name])
+			} else if !errors.Is(err, ErrRejected) {
+				t.Fatalf("trial %d: re-admit probe of %q: unexpected error class %v", trial, v.Task.Name, err)
+			}
+		}
+
+		// Cleanup restores the initial configuration bit-for-bit.
+		if names := report.Admitted.Names(); len(names) > 0 {
+			if err := m.RemoveBatch(names); err != nil {
+				t.Fatalf("trial %d: cleanup: %v", trial, err)
+			}
+		}
+		if after := m.Config(); after != before {
+			t.Fatalf("trial %d: config %+v does not return to %+v after cleanup", trial, after, before)
+		}
+	}
+}
+
+// TestPartialAdmissionReportsInvalidAndConflicts checks that broken
+// members are reported individually without poisoning the rest.
+func TestPartialAdmissionReportsInvalidAndConflicts(t *testing.T) {
+	m, _, _ := minimalManager(t)
+	batch := []task.Task{
+		{Name: "ok", C: 0.02, T: 10, Mode: task.NF, Channel: 0},
+		{Name: "", C: 0.02, T: 10, Mode: task.NF, Channel: 0},     // unnamed
+		{Name: "bad", C: -1, T: 10, Mode: task.NF, Channel: 0},    // invalid
+		{Name: "tau1", C: 0.02, T: 10, Mode: task.NF, Channel: 0}, // resident collision
+		{Name: "dup", C: 0.02, T: 10, Mode: task.NF, Channel: 1},  // first of a pair
+		{Name: "dup", C: 0.02, T: 10, Mode: task.NF, Channel: 1},  // in-batch duplicate
+	}
+	report, err := m.AdmitBatchPartial(batch, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := report.Admitted.Names()
+	if len(admitted) != 2 { // "ok" and the first "dup"
+		t.Fatalf("admitted %v, want the two valid members", admitted)
+	}
+	codes := map[VerdictCode]int{}
+	for _, v := range report.Rejected {
+		codes[v.Code]++
+	}
+	if codes[VerdictInvalid] != 3 {
+		t.Errorf("want 3 invalid verdicts (unnamed, negative C, in-batch duplicate), got %+v", report.Rejected)
+	}
+	if codes[VerdictNameTaken] != 1 {
+		t.Errorf("want 1 name-taken verdict for the resident collision, got %+v", report.Rejected)
+	}
+	if err := m.RemoveBatch(admitted); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartialAdmissionEmptyAndAllShed covers the degenerate ends: an
+// empty batch is a no-op, and a batch where nothing fits admits
+// nothing, changes nothing, and frees every name.
+func TestPartialAdmissionEmptyAndAllShed(t *testing.T) {
+	m, _, _ := minimalManager(t)
+	before := m.Config()
+	report, err := m.AdmitBatchPartial(nil, Policy{})
+	if err != nil || !report.AllAdmitted() || len(report.Admitted) != 0 {
+		t.Fatalf("empty batch: report %+v err %v", report, err)
+	}
+	batch := []task.Task{
+		{Name: "whale-1", C: 2.5, T: 10, Mode: task.NF, Channel: 0},
+		{Name: "whale-2", C: 2.5, T: 10, Mode: task.FS, Channel: 1},
+	}
+	report, err = m.AdmitBatchPartial(batch, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Admitted) != 0 || len(report.Rejected) != 2 {
+		t.Fatalf("all-whale batch: %+v", report)
+	}
+	if got := m.Config(); got != before {
+		t.Fatalf("config changed by an all-shed batch: %+v vs %+v", got, before)
+	}
+	// Names must be free again.
+	if err := m.Admit(task.Task{Name: "whale-1", C: 0.01, T: 10, Mode: task.NF, Channel: 0}); err != nil {
+		t.Fatalf("all-shed batch leaked a name reservation: %v", err)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/platform"
 	"repro/internal/task"
 	"repro/internal/timeu"
 	"repro/internal/trace"
@@ -171,6 +172,12 @@ func (s *Simulator) Run(opts Options) (*Result, error) {
 	}
 	schedule, err := injector.Schedule(horizon)
 	if err != nil {
+		return nil, fmt.Errorf("sim: fault schedule: %w", err)
+	}
+	// The built-in injectors validate by construction, but a custom
+	// Injector could hand back overlapping faults or out-of-range cores;
+	// the fault handling below assumes neither.
+	if err := faults.ValidateSingleFaultOn(schedule, 0, platform.NumCores); err != nil {
 		return nil, fmt.Errorf("sim: fault schedule: %w", err)
 	}
 

@@ -36,6 +36,18 @@ const (
 	// Corrupted marks a job that executed through a fault in NF mode and
 	// produced a wrong result (undetected by construction).
 	Corrupted
+	// Shed marks a task dropped from an admission batch by the value
+	// policy because the whole group did not fit (online manager).
+	Shed
+	// Evicted marks a live task parked by a capacity revocation.
+	Evicted
+	// Readmitted marks a parked task returning to the live set after a
+	// capacity restore.
+	Readmitted
+	// Degraded marks a capacity revocation taking effect.
+	Degraded
+	// Restored marks a capacity restore taking effect.
+	Restored
 )
 
 // String names the event kind.
@@ -59,6 +71,16 @@ func (k Kind) String() string {
 		return "silenced"
 	case Corrupted:
 		return "corrupted"
+	case Shed:
+		return "shed"
+	case Evicted:
+		return "evicted"
+	case Readmitted:
+		return "readmitted"
+	case Degraded:
+		return "degraded"
+	case Restored:
+		return "restored"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }

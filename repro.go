@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/analysis"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/design"
 	"repro/internal/faults"
@@ -229,10 +230,86 @@ func NewOnlineManagerFromCompiled(cp *CompiledProblem, cfg Config) (*OnlineManag
 	return online.NewManagerFromCompiled(cp, cfg)
 }
 
-// ErrAdmissionRejected is returned by OnlineManager.Admit and
-// AdmitBatch when the arriving task (or any member of the batch) does
-// not fit in the available slack.
+// ErrAdmissionRejected is the sentinel every failed reconfiguration
+// wraps: admissions that do not fit, removals of unknown tasks,
+// revocations that cannot be represented. errors.Is against it is the
+// uniform failure check; errors.As against *AdmissionRejection
+// recovers the structured detail.
 var ErrAdmissionRejected = online.ErrRejected
+
+// ErrAdmissionBusy marks the transient subclass of rejections: the
+// operation collided with a reconfiguration still in flight and can
+// simply be retried — AdmissionBackoff.Retry does so with exponential
+// backoff.
+var ErrAdmissionBusy = online.ErrBusy
+
+// Robustness extensions: value-ordered partial admission, degraded-mode
+// operation under capacity loss, typed rejection reports, and a chaos
+// harness stressing all of it concurrently (see internal/online and
+// internal/chaos).
+type (
+	// AdmissionPolicy ranks tasks for victim selection: partial
+	// admission sheds the lowest-value batch members, Revoke evicts the
+	// lowest-value live tasks, Restore readmits parked tasks
+	// highest-value first. The zero policy values every task equally.
+	AdmissionPolicy = online.Policy
+	// AdmitReport is the typed outcome of AdmitBatchPartial: the
+	// admitted members plus a verdict for every one that was not.
+	AdmitReport = online.AdmitReport
+	// TaskVerdict is the per-task outcome of a batch admission.
+	TaskVerdict = online.TaskVerdict
+	// VerdictCode classifies one task's fate (admitted, invalid,
+	// name-taken, busy, shed, rejected).
+	VerdictCode = online.VerdictCode
+	// AdmissionRejection is the structured rejection error: offending
+	// mode slots (requested vs maximum) and per-task verdicts.
+	AdmissionRejection = online.Rejection
+	// SlotOverflow describes one mode slot that no longer fits.
+	SlotOverflow = online.SlotOverflow
+	// AdmissionBackoff retries operations that fail transiently.
+	AdmissionBackoff = online.Backoff
+	// DegradeReport is the typed outcome of Revoke/Restore.
+	DegradeReport = online.DegradeReport
+	// OnlineEvent notifies an event sink of sheds, evictions,
+	// readmissions and capacity transitions.
+	OnlineEvent = online.Event
+	// CapacityStep is one revoke/restore transition rendered from a
+	// fault schedule for degraded-mode operation.
+	CapacityStep = faults.Step
+)
+
+// Re-exported verdict codes.
+const (
+	VerdictAdmitted  = online.VerdictAdmitted
+	VerdictInvalid   = online.VerdictInvalid
+	VerdictNameTaken = online.VerdictNameTaken
+	VerdictBusy      = online.VerdictBusy
+	VerdictShed      = online.VerdictShed
+	VerdictRejected  = online.VerdictRejected
+)
+
+// CapacitySteps renders a fault schedule as a degraded-mode capacity
+// scenario: each fault revokes the struck core's share of the period —
+// period/cores, cores ≤ 0 meaning the platform default — at its strike
+// instant and restores it when the condition clears.
+func CapacitySteps(fs []Fault, period float64, cores int) ([]CapacityStep, error) {
+	return faults.CapacitySteps(fs, period, cores)
+}
+
+// ChaosOptions configure a chaos-harness run.
+type ChaosOptions = chaos.Options
+
+// ChaosResult summarises a chaos-harness run.
+type ChaosResult = chaos.Result
+
+// RunChaos storms the manager with concurrent admissions, partial
+// admissions, removals and fault-driven capacity revocations, checking
+// the full-state invariants — Verify, task conservation, bit-identity
+// of the live configuration to a from-scratch solve — at every
+// quiescent point. pr must be the problem the manager was built from.
+func RunChaos(m *OnlineManager, pr Problem, opts ChaosOptions) (*ChaosResult, error) {
+	return chaos.Run(m, pr, opts)
+}
 
 // SplitSolution is a design whose quanta are delivered as several
 // sub-slots per period (the paper's multi-quantum extension).
