@@ -16,6 +16,20 @@
 //   - internal/points, internal/analysis, internal/supply: scheduling
 //     points, Theorems 1–2, minQ (Eqs. 6 and 11), supply functions
 //     (Lemma 1 exact form, linear bound, periodic-resource comparison);
+//   - internal/envelope: the incremental dominance-envelope index the
+//     analysis layer is built on. Demand curves cross at most once, so
+//     a pair is retained iff it is undominated at one of the two
+//     extremes (P→0⁺ rank w/t, P→∞ rank w−t); envelope.Index keeps the
+//     point stream sorted under packed order-preserving float keys and
+//     maintains that Pareto order under point insertion and removal —
+//     each event re-examines only the touched points and the envelope
+//     span they dominate or release, not the whole stream — with
+//     owner counts so tasks sharing a deadline merge and unmerge
+//     exactly. Pruning never decides MinQ (the 1e-9 relative margin
+//     keeps every near-tie), so every layer above stays bit-identical
+//     to the from-scratch oracle (envelope.Prune), which
+//     envelope.Check re-verifies in full wherever the chaos harness
+//     reaches a quiescent point;
 //   - internal/core: the paper's integration conditions (Eqs. 12–15);
 //     Problem.Compile caches per-channel demand profiles
 //     (analysis.Profile) — the P-independent half of Eq. (15) — so
@@ -23,11 +37,15 @@
 //     uses this compiled path, with the naive methods kept as the
 //     reference oracle. Profiles update incrementally: WithTask and
 //     WithoutTask (on both analysis.Profile and core.CompiledProblem)
-//     patch one task's deadline stream in or out and re-prune, staying
-//     bit-identical to a fresh compile, so "what if this task joined
-//     channel i" costs the newcomer's own deadlines rather than a
-//     channel recompilation; the batched WithTasks/WithoutTasks patch a
-//     whole group with one stream merge and one envelope re-prune;
+//     patch one task's deadline stream in or out through a cloned
+//     envelope.Index snapshot (what-if clones share the immutable
+//     parent index), staying bit-identical to a fresh compile, so
+//     "what if this task joined channel i" costs the newcomer's own
+//     deadlines plus the affected envelope span rather than a channel
+//     recompilation; the batched WithTasks/WithoutTasks patch a whole
+//     group with one stream merge and one index update, and a
+//     hyperperiod change falls back to a full recompile (counted by
+//     Profile.Fallbacks and reported as a trace event);
 //   - internal/region, internal/design: Figure 4 exploration and the
 //     two design goals of Table 2;
 //   - internal/partition, internal/workload: automatic channel
@@ -40,7 +58,11 @@
 //     (per-channel locks, so disjoint channels reconfigure
 //     concurrently) and read-optimised (Config/Slack/Tasks are served
 //     lock-free from atomically swapped snapshots), with a
-//     consolidation policy bounding long-run memory under churn. It is
+//     consolidation policy bounding long-run memory under churn
+//     (ratio-triggered by default: Profile.MemStats reports the
+//     retained/live cell ratio and SetConsolidateRatio rebuilds a
+//     channel when pinned ancestor rows outweigh the live ones;
+//     SetConsolidateEvery remains as the legacy patch-count shim). It is
 //     also overload-resilient: AdmitBatchPartial sheds the
 //     lowest-value members of an overflowing batch under a Policy
 //     (greedy-maximal, one profile patch per shed), Revoke/Restore
@@ -50,8 +72,10 @@
 //     sentinels with a Backoff retry helper);
 //   - internal/chaos: a seeded concurrency harness storming the manager
 //     — admissions, partial admissions, removals, fault-driven
-//     revocations — and checking conservation, Verify and bit-identity
-//     to a from-scratch solve at every quiescent point (ftsim -chaos);
+//     revocations — and checking conservation, Verify, bit-identity to
+//     a from-scratch solve and the full envelope audit
+//     (Manager.CheckProfiles) at every quiescent point, while tallying
+//     envelope fallbacks and consolidation rebuilds (ftsim -chaos);
 //   - internal/platform, internal/faults, internal/sim,
 //     internal/recovery, internal/trace: the executable platform model
 //     with fault injection and recovery policies;

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/envelope"
 	"repro/internal/points"
 	"repro/internal/task"
 	"repro/internal/timeu"
@@ -14,19 +15,25 @@ import (
 // touches one channel per event; recompiling that channel from scratch
 // makes the event cost scale with the channel — hyperperiod, deadline
 // merge, demand values and envelope are all rebuilt even though a single
-// task changed. WithTask and WithoutTask instead patch the compiled
-// state:
+// task changed. WithTasks and WithoutTasks instead patch the compiled
+// state (WithTask and WithoutTask are the one-task special case of the
+// same batch paths):
 //
-//   - EDF: the profile retains the pre-pruning deadline stream ts and,
-//     per task, the prefix demand rows pre[i] (the exact partial sums
-//     DemandBound accumulates in set order). Admitting a task merges its
-//     deadline stream into ts, extends existing prefix rows only at the
-//     brand-new points, and appends one new row; releasing a task drops
-//     its solely-owned points and re-accumulates only the suffix rows at
-//     or after its position. Because the retained rows are the partial
+//   - EDF: the profile's envelope.Index retains the pre-pruning deadline
+//     stream with per-point owner counts, and the profile keeps, per
+//     task, the prefix demand rows pre[i] (the exact partial sums
+//     DemandBound accumulates in set order). Admitting tasks clones the
+//     index snapshot, merges the newcomers' deadline streams into it
+//     (Merge), extends existing prefix rows only at the brand-new
+//     points, appends the newcomers' rows, and hands the patched demand
+//     row back to the index (SetDemand), which re-ranks only the points
+//     whose demand changed. Releasing tasks walks owner counts down
+//     (RemoveOwners), compacts the solely-owned points out of the stream
+//     (Compact) and re-accumulates only the suffix rows at or after the
+//     first removed position. Because the retained rows are the partial
 //     sums of the very accumulation a fresh Compile performs — and
 //     float64 addition of an identical term sequence is deterministic —
-//     the patched demand row, and therefore the re-pruned envelope, is
+//     the patched demand row, and therefore the maintained envelope, is
 //     bit-identical to a fresh Compile of the same set.
 //
 //   - RM/DM: priority levels above the changed task keep their
@@ -38,7 +45,8 @@ import (
 // the package comment: one float64 per task per deadline point, private
 // to the profile. Both operations fall back to a fresh Compile when
 // patching has no advantage (empty profiles, or an EDF hyperperiod
-// change, where every stream would extend anyway); the fallback is also
+// change, where every stream would extend anyway); each such bail bumps
+// the profile's fallback counter (Fallbacks), and the fallback is also
 // the property-test oracle (see incremental_test.go).
 
 // WithTask returns a new profile for the compiled set plus t, equivalent
@@ -52,9 +60,9 @@ func (pf *Profile) WithTask(t task.Task) (*Profile, error) {
 	}
 	switch pf.alg {
 	case EDF:
-		return pf.withTaskEDF(t)
+		return pf.withTasksEDF([]task.Task{t})
 	case RM, DM:
-		return pf.withTaskFP(t)
+		return pf.withTasksFP([]task.Task{t})
 	}
 	return nil, fmt.Errorf("analysis: WithTask: unknown algorithm %s", pf.alg)
 }
@@ -65,11 +73,57 @@ func (pf *Profile) WithTask(t task.Task) (*Profile, error) {
 func (pf *Profile) WithoutTask(t task.Task) (*Profile, error) {
 	switch pf.alg {
 	case EDF:
-		return pf.withoutTaskEDF(t)
+		return pf.withoutTasksEDF([]task.Task{t})
 	case RM, DM:
-		return pf.withoutTaskFP(t)
+		return pf.withoutTasksFP([]task.Task{t})
 	}
 	return nil, fmt.Errorf("analysis: WithoutTask: unknown algorithm %s", pf.alg)
+}
+
+// WithTasks returns a new profile for the compiled set plus every task
+// in add, in order — bit-identical (retained streams included) to
+// folding WithTask over add — but the batch pays the expensive steps
+// once instead of len(add) times: the newcomers' deadline streams are
+// merged into the retained index in one pass, the prefix-row matrix is
+// extended once, and the envelope re-ranks once (EDF); for RM/DM the
+// priority suffix below the highest-priority newcomer is rebuilt once
+// instead of once per insertion. The receiver is unchanged and shares
+// unmodified state with the result. An empty batch returns the receiver.
+func (pf *Profile) WithTasks(add []task.Task) (*Profile, error) {
+	for _, t := range add {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("analysis: WithTasks: %w", err)
+		}
+	}
+	if len(add) == 0 {
+		return pf, nil
+	}
+	switch pf.alg {
+	case EDF:
+		return pf.withTasksEDF(add)
+	case RM, DM:
+		return pf.withTasksFP(add)
+	}
+	return nil, fmt.Errorf("analysis: WithTasks: unknown algorithm %s", pf.alg)
+}
+
+// WithoutTasks returns a new profile for the compiled set minus every
+// task in rem, equivalent to folding WithoutTask over rem but with one
+// owner-count walk, one stream compaction, one suffix re-accumulation
+// and one envelope re-rank for the whole batch. Every task must be
+// present (exact field equality; a value listed twice must be present
+// twice). The receiver is unchanged; an empty batch returns it.
+func (pf *Profile) WithoutTasks(rem []task.Task) (*Profile, error) {
+	if len(rem) == 0 {
+		return pf, nil
+	}
+	switch pf.alg {
+	case EDF:
+		return pf.withoutTasksEDF(rem)
+	case RM, DM:
+		return pf.withoutTasksFP(rem)
+	}
+	return nil, fmt.Errorf("analysis: WithoutTasks: unknown algorithm %s", pf.alg)
 }
 
 // Tasks returns a copy of the compiled task set: in declaration order
@@ -103,293 +157,27 @@ func (pf *Profile) Equal(o *Profile) bool {
 	return true
 }
 
-func (pf *Profile) withTaskEDF(t task.Task) (*Profile, error) {
-	cand := append(append(make(task.Set, 0, len(pf.tasks)+1), pf.tasks...), t)
-	if len(pf.tasks) == 0 {
-		return Compile(cand, EDF)
-	}
-	pScaled, err := timeu.ScaledPeriod(t.T, HyperperiodDenominator)
+// recompile is the incremental paths' bail-out: a fresh Compile of s
+// that carries the receiver's fallback count forward, bumping it when
+// the bail is a genuine fallback (patching was possible in principle
+// but had no advantage or hit a violated invariant) rather than a
+// trivial case (empty profile, empty survivor set).
+func (pf *Profile) recompile(s task.Set, bump bool) (*Profile, error) {
+	next, err := Compile(s, pf.alg)
 	if err != nil {
 		return nil, err
 	}
-	if timeu.LCM(pf.horizonInt, pScaled) != pf.horizonInt {
-		// The newcomer stretches the hyperperiod, so every existing
-		// stream extends and patching has no advantage. (Integer LCM is
-		// order-independent, so folding one more period reproduces the
-		// hyperperiod a fresh Compile of the whole candidate computes.)
-		return Compile(cand, EDF)
-	}
-	n := len(pf.tasks)
-	next := &Profile{alg: EDF, tasks: cand, horizon: pf.horizon, horizonInt: pf.horizonInt}
-	next.scaled = append(append(make([]int64, 0, n+1), pf.scaled...), pScaled)
-	// Walk t's deadline stream against ts, counting brand-new points.
-	stream := points.TaskDeadlines(t, pf.horizon)
-	missing := 0
-	i := 0
-	for _, x := range stream {
-		for i < len(pf.ts) && pf.ts[i] < x {
-			i++
-		}
-		if i < len(pf.ts) && pf.ts[i] == x {
-			i++
-		} else {
-			missing++
-		}
-	}
-	if missing == 0 {
-		// Every deadline of t already is a scheduling point: share the
-		// stream and all prefix rows, bump owner counts, append t's row.
-		next.ts = pf.ts
-		next.owners = append(make([]int32, 0, len(pf.ts)), pf.owners...)
-		i := 0
-		for _, x := range stream {
-			for pf.ts[i] != x {
-				i++
-			}
-			next.owners[i]++
-			i++
-		}
-		next.pre = make([][]float64, n+1)
-		copy(next.pre, pf.pre)
-		last := make([]float64, len(pf.ts))
-		base := pf.pre[n-1]
-		for k, x := range pf.ts {
-			last[k] = base[k] + demandTerm(t, x)
-		}
-		next.pre[n] = last
-	} else {
-		next.ts = points.MergeUnique(pf.ts, stream)
-		N := len(next.ts)
-		next.owners = make([]int32, N)
-		next.pre = prefixRows(n+1, N)
-		// Mark the merged positions: inserted points get fresh prefix
-		// columns, runs of retained points get block copies per row.
-		inserted := make([]int, 0, missing)
-		i, j := 0, 0
-		for k, x := range next.ts {
-			if i < len(pf.ts) && pf.ts[i] == x {
-				next.owners[k] = pf.owners[i]
-				i++
-			} else {
-				inserted = append(inserted, k)
-			}
-			if j < len(stream) && stream[j] == x {
-				next.owners[k]++
-				j++
-			}
-		}
-		for r := 0; r < n; r++ {
-			dst, src := next.pre[r], pf.pre[r]
-			from, at := 0, 0
-			for _, k := range inserted {
-				copy(dst[at:k], src[from:from+(k-at)])
-				from += k - at
-				at = k + 1
-			}
-			copy(dst[at:], src[from:])
-		}
-		for _, k := range inserted {
-			// A brand-new point: accumulate the old set's prefix demand
-			// exactly as a fresh Compile would.
-			x := next.ts[k]
-			w := 0.0
-			for r, tk := range pf.tasks {
-				w += demandTerm(tk, x)
-				next.pre[r][k] = w
-			}
-		}
-		last, base := next.pre[n], next.pre[n-1]
-		for k, x := range next.ts {
-			last[k] = base[k] + demandTerm(t, x)
-		}
-	}
-	next.edf, next.rankKeys = envelopePairs(next.ts, next.pre[n], pf.rankKeys)
-	return next, nil
-}
-
-func (pf *Profile) withoutTaskEDF(t task.Task) (*Profile, error) {
-	idx := pf.indexOf(t)
-	if idx < 0 {
-		return nil, fmt.Errorf("analysis: WithoutTask: task %q not in profile", t.Name)
-	}
-	surv := append(append(make(task.Set, 0, len(pf.tasks)-1), pf.tasks[:idx]...), pf.tasks[idx+1:]...)
-	if len(surv) == 0 {
-		return Compile(nil, EDF)
-	}
-	// Re-fold the surviving hyperperiod from the cached scaled periods;
-	// integer LCM is order-independent, so this matches what a fresh
-	// Compile of surv computes.
-	hInt := int64(1)
-	for r, p := range pf.scaled {
-		if r != idx {
-			hInt = timeu.LCM(hInt, p)
-		}
-	}
-	if hInt != pf.horizonInt {
-		// The departing task carried the hyperperiod; the whole stream
-		// re-ranges, so patching has no advantage.
-		return Compile(surv, EDF)
-	}
-	n := len(surv)
-	next := &Profile{alg: EDF, tasks: surv, horizon: pf.horizon, horizonInt: hInt}
-	next.scaled = append(append(make([]int64, 0, n), pf.scaled[:idx]...), pf.scaled[idx+1:]...)
-	next.pre = make([][]float64, n)
-	// Walk t's deadline stream against ts, decrementing owner counts:
-	// points owned solely by the departing task (count reaching zero)
-	// disappear from the stream; points shared with a survivor stay. The
-	// compiled invariant is that every stream point is in ts; the bounds
-	// guard turns a violation (impossible unless the profile state is
-	// corrupted) into a fresh compile instead of a panic.
-	owners := append(make([]int32, 0, len(pf.ts)), pf.owners...)
-	drops := 0
-	i := 0
-	for _, x := range points.TaskDeadlines(t, pf.horizon) {
-		for i < len(pf.ts) && pf.ts[i] != x {
-			i++
-		}
-		if i == len(pf.ts) {
-			return Compile(surv, EDF)
-		}
-		if owners[i]--; owners[i] == 0 {
-			drops++
-		}
-		i++
-	}
-	if drops == 0 {
-		next.ts = pf.ts
-		next.owners = owners
-		copy(next.pre, pf.pre[:idx])
-	} else {
-		N := len(pf.ts) - drops
-		next.ts = make([]float64, N)
-		next.owners = make([]int32, N)
-		rows := prefixRows(idx, N)
-		// Block-copy the runs between dropped positions into the
-		// surviving stream, owner counts and untouched prefix rows.
-		from, at := 0, 0
-		flush := func(until int) {
-			copy(next.ts[at:], pf.ts[from:until])
-			copy(next.owners[at:], owners[from:until])
-			for r := 0; r < idx; r++ {
-				copy(rows[r][at:], pf.pre[r][from:until])
-			}
-			at += until - from
-			from = until
-		}
-		for p, c := range owners {
-			if c == 0 {
-				flush(p)
-				from = p + 1 // skip the dropped point
-			}
-		}
-		flush(len(pf.ts))
-		copy(next.pre, rows)
-	}
-	// Tasks at or after the removed position see a shifted prefix sum:
-	// re-accumulate their rows on top of the last untouched one.
-	suffix := prefixRows(n-idx, len(next.ts))
-	for r := idx; r < n; r++ {
-		row := suffix[r-idx]
-		tk := surv[r]
-		if r == 0 {
-			for k, x := range next.ts {
-				row[k] = demandTerm(tk, x)
-			}
-		} else {
-			base := next.pre[r-1]
-			for k, x := range next.ts {
-				row[k] = base[k] + demandTerm(tk, x)
-			}
-		}
-		next.pre[r] = row
-	}
-	next.edf, next.rankKeys = envelopePairs(next.ts, next.pre[n-1], pf.rankKeys)
-	return next, nil
-}
-
-func (pf *Profile) withTaskFP(t task.Task) (*Profile, error) {
-	// The profile's tasks are priority-ordered; the comparator is a total
-	// order (unique names break exact ties), so the newcomer's position
-	// is the same one a full re-sort would give it.
-	j := sort.Search(len(pf.tasks), func(i int) bool { return pf.alg.priorityLess(t, pf.tasks[i]) })
-	ordered := make(task.Set, 0, len(pf.tasks)+1)
-	ordered = append(append(append(ordered, pf.tasks[:j]...), t), pf.tasks[j:]...)
-	next := &Profile{alg: pf.alg, tasks: ordered}
-	next.fp = make([][]pair, len(ordered))
-	// Levels above the newcomer keep their higher-priority sets: share.
-	copy(next.fp, pf.fp[:j])
-	for i := j; i < len(ordered); i++ {
-		next.fp[i] = compileFPRow(ordered[:i], ordered[i])
+	next.fallbacks = pf.fallbacks
+	if bump {
+		next.fallbacks++
 	}
 	return next, nil
-}
-
-func (pf *Profile) withoutTaskFP(t task.Task) (*Profile, error) {
-	idx := pf.indexOf(t)
-	if idx < 0 {
-		return nil, fmt.Errorf("analysis: WithoutTask: task %q not in profile", t.Name)
-	}
-	ordered := append(append(make(task.Set, 0, len(pf.tasks)-1), pf.tasks[:idx]...), pf.tasks[idx+1:]...)
-	next := &Profile{alg: pf.alg, tasks: ordered}
-	next.fp = make([][]pair, len(ordered))
-	copy(next.fp, pf.fp[:idx])
-	for i := idx; i < len(ordered); i++ {
-		next.fp[i] = compileFPRow(ordered[:i], ordered[i])
-	}
-	return next, nil
-}
-
-// WithTasks returns a new profile for the compiled set plus every task
-// in add, in order — bit-identical (retained streams included) to
-// folding WithTask over add — but the batch pays the expensive steps
-// once instead of len(add) times: the newcomers' deadline streams are
-// merged into the retained stream in one pass, the prefix-row matrix is
-// extended once, and the dominance envelope is re-pruned exactly once
-// (EDF); for RM/DM the priority suffix below the highest-priority
-// newcomer is rebuilt once instead of once per insertion. The receiver
-// is unchanged and shares unmodified state with the result. An empty
-// batch returns the receiver.
-func (pf *Profile) WithTasks(add []task.Task) (*Profile, error) {
-	for _, t := range add {
-		if err := t.Validate(); err != nil {
-			return nil, fmt.Errorf("analysis: WithTasks: %w", err)
-		}
-	}
-	if len(add) == 0 {
-		return pf, nil
-	}
-	switch pf.alg {
-	case EDF:
-		return pf.withTasksEDF(add)
-	case RM, DM:
-		return pf.withTasksFP(add)
-	}
-	return nil, fmt.Errorf("analysis: WithTasks: unknown algorithm %s", pf.alg)
-}
-
-// WithoutTasks returns a new profile for the compiled set minus every
-// task in rem, equivalent to folding WithoutTask over rem but with one
-// stream compaction, one suffix re-accumulation and one envelope
-// re-prune for the whole batch. Every task must be present (exact field
-// equality; a value listed twice must be present twice). The receiver is
-// unchanged; an empty batch returns it.
-func (pf *Profile) WithoutTasks(rem []task.Task) (*Profile, error) {
-	if len(rem) == 0 {
-		return pf, nil
-	}
-	switch pf.alg {
-	case EDF:
-		return pf.withoutTasksEDF(rem)
-	case RM, DM:
-		return pf.withoutTasksFP(rem)
-	}
-	return nil, fmt.Errorf("analysis: WithoutTasks: unknown algorithm %s", pf.alg)
 }
 
 func (pf *Profile) withTasksEDF(add []task.Task) (*Profile, error) {
 	cand := append(append(make(task.Set, 0, len(pf.tasks)+len(add)), pf.tasks...), add...)
 	if len(pf.tasks) == 0 {
-		return Compile(cand, EDF)
+		return pf.recompile(cand, false)
 	}
 	scaledAdd := make([]int64, len(add))
 	hInt := pf.horizonInt
@@ -407,58 +195,40 @@ func (pf *Profile) withTasksEDF(add []task.Task) (*Profile, error) {
 		// sequential fold takes when it reaches that task. (Integer LCM is
 		// order-independent, so the folded hyperperiod matches a fresh
 		// Compile of the whole candidate.)
-		return Compile(cand, EDF)
+		return pf.recompile(cand, true)
 	}
 	n, k := len(pf.tasks), len(add)
-	next := &Profile{alg: EDF, tasks: cand, horizon: pf.horizon, horizonInt: pf.horizonInt}
+	next := &Profile{
+		alg: EDF, tasks: cand, horizon: pf.horizon, horizonInt: pf.horizonInt,
+		fallbacks: pf.fallbacks,
+	}
 	next.scaled = append(append(make([]int64, 0, n+k), pf.scaled...), scaledAdd...)
 	// Union of the newcomers' deadline streams: the single merge input.
 	var union []float64
 	for _, t := range add {
 		union = points.MergeUnique(union, points.TaskDeadlines(t, pf.horizon))
 	}
-	// Walk the union against the retained stream, counting brand-new
-	// scheduling points.
-	missing := 0
-	i := 0
-	for _, x := range union {
-		for i < len(pf.ts) && pf.ts[i] < x {
-			i++
-		}
-		if i < len(pf.ts) && pf.ts[i] == x {
-			i++
-		} else {
-			missing++
-		}
-	}
-	if missing == 0 {
-		// Every newcomer deadline already is a scheduling point: share the
-		// stream and all existing prefix rows, append k new rows.
-		next.ts = pf.ts
-		next.owners = append(make([]int32, 0, len(pf.ts)), pf.owners...)
+	// The published profile's index is an immutable snapshot: patch a
+	// clone. Merge splices the brand-new scheduling points in as
+	// zero-demand, zero-owner placeholders and reports their positions.
+	idx := pf.idx.Clone()
+	inserted := idx.Merge(union)
+	N := idx.Len()
+	if len(inserted) == 0 {
+		// Every newcomer deadline already is a scheduling point: share
+		// all existing prefix rows, append k new rows.
 		next.pre = make([][]float64, n+k)
 		copy(next.pre, pf.pre)
-		rows := prefixRows(k, len(pf.ts))
+		rows := prefixRows(k, N)
 		for j := range rows {
 			next.pre[n+j] = rows[j]
 		}
+		next.pinned = pf.pinned + k*N
 	} else {
-		next.ts = points.MergeUnique(pf.ts, union)
-		N := len(next.ts)
-		next.owners = make([]int32, N)
 		next.pre = prefixRows(n+k, N)
-		// Mark the merged positions: inserted points get fresh prefix
-		// columns, runs of retained points get block copies per row.
-		inserted := make([]int, 0, missing)
-		i := 0
-		for p, x := range next.ts {
-			if i < len(pf.ts) && pf.ts[i] == x {
-				next.owners[p] = pf.owners[i]
-				i++
-			} else {
-				inserted = append(inserted, p)
-			}
-		}
+		next.pinned = (n + k) * N
+		// Inserted points get fresh prefix columns; runs of retained
+		// points get block copies per row.
 		for r := 0; r < n; r++ {
 			dst, src := next.pre[r], pf.pre[r]
 			from, at := 0, 0
@@ -469,10 +239,11 @@ func (pf *Profile) withTasksEDF(add []task.Task) (*Profile, error) {
 			}
 			copy(dst[at:], src[from:])
 		}
+		ts := idx.Ts()
 		for _, p := range inserted {
 			// A brand-new point: accumulate the old set's prefix demand
 			// exactly as a fresh Compile would.
-			x := next.ts[p]
+			x := ts[p]
 			w := 0.0
 			for r, tk := range pf.tasks {
 				w += demandTerm(tk, x)
@@ -480,28 +251,34 @@ func (pf *Profile) withTasksEDF(add []task.Task) (*Profile, error) {
 			}
 		}
 	}
-	// Bump owner counts for each newcomer's own stream.
+	// Bump owner counts for each newcomer's own stream; every inserted
+	// placeholder belongs to at least one newcomer, so no zero-owner
+	// point survives.
 	for _, t := range add {
-		i := 0
-		for _, x := range points.TaskDeadlines(t, pf.horizon) {
-			for next.ts[i] != x {
-				i++
-			}
-			next.owners[i]++
-			i++
+		if err := idx.AddOwners(points.TaskDeadlines(t, pf.horizon)); err != nil {
+			// Impossible unless the compiled state is corrupted; degrade
+			// to the oracle rather than panic.
+			return pf.recompile(cand, true)
 		}
 	}
 	// Append the k new prefix rows, each the left-fold continuation of
 	// the one before — the exact partial sums a sequential fold builds.
+	ts := idx.Ts()
 	base := next.pre[n-1]
 	for j, t := range add {
 		row := next.pre[n+j]
-		for p, x := range next.ts {
+		for p, x := range ts {
 			row[p] = base[p] + demandTerm(t, x)
 		}
 		base = row
 	}
-	next.edf, next.rankKeys = envelopePairs(next.ts, next.pre[n+k-1], pf.rankKeys)
+	// Hand the patched demand row to the index: it re-ranks exactly the
+	// points whose demand changed bitwise and maintains the envelope.
+	if err := idx.SetDemand(next.pre[n+k-1]); err != nil {
+		return pf.recompile(cand, true)
+	}
+	next.idx = idx
+	next.edf = idx.Kept()
 	return next, nil
 }
 
@@ -533,9 +310,11 @@ func (pf *Profile) withoutTasksEDF(rem []task.Task) (*Profile, error) {
 		}
 	}
 	if len(surv) == 0 {
-		return Compile(nil, EDF)
+		return pf.recompile(nil, false)
 	}
-	// Re-fold the surviving hyperperiod from the cached scaled periods.
+	// Re-fold the surviving hyperperiod from the cached scaled periods;
+	// integer LCM is order-independent, so this matches what a fresh
+	// Compile of surv computes.
 	hInt := int64(1)
 	for i, p := range pf.scaled {
 		if !used[i] {
@@ -545,36 +324,33 @@ func (pf *Profile) withoutTasksEDF(rem []task.Task) (*Profile, error) {
 	if hInt != pf.horizonInt {
 		// A departing task carried the hyperperiod; the whole stream
 		// re-ranges, so patching has no advantage.
-		return Compile(surv, EDF)
+		return pf.recompile(surv, true)
 	}
 	n := len(surv)
-	next := &Profile{alg: EDF, tasks: surv, horizon: pf.horizon, horizonInt: hInt}
+	next := &Profile{
+		alg: EDF, tasks: surv, horizon: pf.horizon, horizonInt: hInt,
+		fallbacks: pf.fallbacks,
+	}
 	next.scaled = make([]int64, 0, n)
 	for i, p := range pf.scaled {
 		if !used[i] {
 			next.scaled = append(next.scaled, p)
 		}
 	}
-	// Decrement owner counts once per departing stream; points whose
-	// count reaches zero drop out of the stream. The bounds guard turns
-	// an invariant violation into a fresh compile instead of a panic.
-	owners := append(make([]int32, 0, len(pf.ts)), pf.owners...)
-	drops := 0
+	// Walk owner counts down once per departing stream on a clone of
+	// the index snapshot, then compact: points owned solely by the
+	// departing tasks drop out of the stream, and Compact reports their
+	// pre-compaction positions. A violated invariant (a deadline not in
+	// the stream — impossible unless the compiled state is corrupted)
+	// degrades to the oracle instead of panicking.
+	idx := pf.idx.Clone()
 	for _, t := range rem {
-		i := 0
-		for _, x := range points.TaskDeadlines(t, pf.horizon) {
-			for i < len(pf.ts) && pf.ts[i] != x {
-				i++
-			}
-			if i == len(pf.ts) {
-				return Compile(surv, EDF)
-			}
-			if owners[i]--; owners[i] == 0 {
-				drops++
-			}
-			i++
+		if err := idx.RemoveOwners(points.TaskDeadlines(t, pf.horizon)); err != nil {
+			return pf.recompile(surv, true)
 		}
 	}
+	dropped := idx.Compact()
+	N := idx.Len()
 	// Rows strictly above the first removed position keep their prefix
 	// sets and are shared (or block-copied around dropped points); the
 	// suffix re-accumulates once for the whole batch.
@@ -583,51 +359,49 @@ func (pf *Profile) withoutTasksEDF(rem []task.Task) (*Profile, error) {
 		keep = n
 	}
 	next.pre = make([][]float64, n)
-	if drops == 0 {
-		next.ts = pf.ts
-		next.owners = owners
+	if len(dropped) == 0 {
 		copy(next.pre, pf.pre[:keep])
+		next.pinned = pf.pinned + (n-keep)*N
 	} else {
-		N := len(pf.ts) - drops
-		next.ts = make([]float64, N)
-		next.owners = make([]int32, N)
 		rows := prefixRows(keep, N)
 		from, at := 0, 0
 		flush := func(until int) {
-			copy(next.ts[at:], pf.ts[from:until])
-			copy(next.owners[at:], owners[from:until])
 			for r := 0; r < keep; r++ {
 				copy(rows[r][at:], pf.pre[r][from:until])
 			}
 			at += until - from
 			from = until
 		}
-		for p, c := range owners {
-			if c == 0 {
-				flush(p)
-				from = p + 1 // skip the dropped point
-			}
+		for _, p := range dropped {
+			flush(p)
+			from = p + 1 // skip the dropped point
 		}
-		flush(len(pf.ts))
+		flush(len(pf.pre[0]))
 		copy(next.pre, rows)
+		next.pinned = n * N
 	}
-	suffix := prefixRows(n-keep, len(next.ts))
+	suffix := prefixRows(n-keep, N)
+	ts := idx.Ts()
 	for r := keep; r < n; r++ {
 		row := suffix[r-keep]
 		tk := surv[r]
 		if r == 0 {
-			for p, x := range next.ts {
+			for p, x := range ts {
 				row[p] = demandTerm(tk, x)
 			}
 		} else {
 			base := next.pre[r-1]
-			for p, x := range next.ts {
+			for p, x := range ts {
 				row[p] = base[p] + demandTerm(tk, x)
 			}
 		}
 		next.pre[r] = row
 	}
-	next.edf, next.rankKeys = envelopePairs(next.ts, next.pre[n-1], pf.rankKeys)
+	if err := idx.SetDemand(next.pre[n-1]); err != nil {
+		return pf.recompile(surv, true)
+	}
+	next.idx = idx
+	next.edf = idx.Kept()
 	return next, nil
 }
 
@@ -636,7 +410,7 @@ func (pf *Profile) withTasksFP(add []task.Task) (*Profile, error) {
 	// keep their batch order, matching the sequential upper-bound
 	// insertions), then merge into the priority-ordered compiled set with
 	// existing tasks first on exact ties — the position sequence a fold
-	// of withTaskFP produces.
+	// of single-task inserts produces.
 	sorted := append(make(task.Set, 0, len(add)), add...)
 	sort.SliceStable(sorted, func(i, j int) bool { return pf.alg.priorityLess(sorted[i], sorted[j]) })
 	ordered := make(task.Set, 0, len(pf.tasks)+len(sorted))
@@ -654,8 +428,8 @@ func (pf *Profile) withTasksFP(add []task.Task) (*Profile, error) {
 			j++
 		}
 	}
-	next := &Profile{alg: pf.alg, tasks: ordered}
-	next.fp = make([][]pair, len(ordered))
+	next := &Profile{alg: pf.alg, tasks: ordered, fallbacks: pf.fallbacks}
+	next.fp = make([][]envelope.Pair, len(ordered))
 	// Levels above the highest-priority newcomer keep their
 	// higher-priority sets: share; rebuild the suffix once.
 	copy(next.fp, pf.fp[:first])
@@ -690,8 +464,8 @@ func (pf *Profile) withoutTasksFP(rem []task.Task) (*Profile, error) {
 			ordered = append(ordered, tk)
 		}
 	}
-	next := &Profile{alg: pf.alg, tasks: ordered}
-	next.fp = make([][]pair, len(ordered))
+	next := &Profile{alg: pf.alg, tasks: ordered, fallbacks: pf.fallbacks}
+	next.fp = make([][]envelope.Pair, len(ordered))
 	copy(next.fp, pf.fp[:first])
 	for i := first; i < len(ordered); i++ {
 		next.fp[i] = compileFPRow(ordered[:i], ordered[i])
@@ -706,14 +480,4 @@ func (a Alg) priorityLess(x, y task.Task) bool {
 		return task.LessRM(x, y)
 	}
 	return task.LessDM(x, y)
-}
-
-// indexOf locates t in the compiled set by exact field equality.
-func (pf *Profile) indexOf(t task.Task) int {
-	for i := range pf.tasks {
-		if pf.tasks[i] == t {
-			return i
-		}
-	}
-	return -1
 }

@@ -31,16 +31,23 @@ func assertProfileIdentical(t *testing.T, stage string, got, want *Profile) {
 	if got.horizonInt != want.horizonInt {
 		t.Fatalf("%s: horizonInt %d, want %d", stage, got.horizonInt, want.horizonInt)
 	}
-	if len(got.ts) != len(want.ts) {
-		t.Fatalf("%s: %d stream points, want %d", stage, len(got.ts), len(want.ts))
+	if (got.idx == nil) != (want.idx == nil) {
+		t.Fatalf("%s: index presence differs from fresh Compile", stage)
 	}
-	for k := range got.ts {
-		if got.ts[k] != want.ts[k] {
-			t.Fatalf("%s: stream point %d is %x, want %x", stage, k, got.ts[k], want.ts[k])
+	if got.idx != nil {
+		gotTs, wantTs := got.idx.Ts(), want.idx.Ts()
+		gotOwn, wantOwn := got.idx.Owners(), want.idx.Owners()
+		if len(gotTs) != len(wantTs) {
+			t.Fatalf("%s: %d stream points, want %d", stage, len(gotTs), len(wantTs))
 		}
-		if got.owners[k] != want.owners[k] {
-			t.Fatalf("%s: owner count at point %d is %d, want %d",
-				stage, k, got.owners[k], want.owners[k])
+		for k := range gotTs {
+			if gotTs[k] != wantTs[k] {
+				t.Fatalf("%s: stream point %d is %x, want %x", stage, k, gotTs[k], wantTs[k])
+			}
+			if gotOwn[k] != wantOwn[k] {
+				t.Fatalf("%s: owner count at point %d is %d, want %d",
+					stage, k, gotOwn[k], wantOwn[k])
+			}
 		}
 	}
 	if len(got.pre) != len(want.pre) {

@@ -3,8 +3,8 @@ package analysis
 import (
 	"fmt"
 	"math"
-	"slices"
 
+	"repro/internal/envelope"
 	"repro/internal/points"
 	"repro/internal/task"
 	"repro/internal/timeu"
@@ -19,86 +19,75 @@ import (
 // a flat scan of precompiled (t, W(t)) pairs through qNeeded, with zero
 // allocations, no maps, no sorting and no recursion.
 //
-// On top of hoisting, Compile prunes pairs that can never decide the
-// result. Fix two pairs i and j and consider the curves Q(P) =
-// qNeeded(t, P, w). Two such curves cross at most once on P > 0:
-// subtracting their defining quadratics Q² + (t−P)Q − PW = 0 gives
-// (t_i−t_j)·Q = P·(w_i−w_j), a ray through the origin whose intersection
-// with either quadratic has at most one positive root. The curves'
-// order at the two extremes is closed form —
-//
-//	P → 0⁺: qNeeded(t, P, w) ≈ P·w/t      (ranked by w/t)
-//	P → ∞ : qNeeded(t, P, w) → P − t + w   (ranked by w − t)
-//
-// — so if pair i ranks at least as high as pair j at both extremes, the
-// single-crossing property forbids the order from flipping in between,
-// and qNeeded(t_i, P, w_i) ≥ qNeeded(t_j, P, w_j) for every P > 0. Pair
-// j is then dominated: it can never be the maximum of Eq. (11) (and,
-// with the inequalities reversed, never the minimum of a task's inner
-// search in Eq. (6)), so MinQ need not evaluate it. Dominance is only
-// applied with a relative margin of pruneMargin on both rankings, so a
-// pair whose curve hugs its dominator's within floating-point noise is
-// kept and the pruned scan returns bit-identical results to the naive
-// oracle MinQ.
-
-// pruneMargin is the relative margin required on both dominance
-// rankings before a (t, W(t)) pair is discarded. It is far above
-// float64 rounding noise (~1e-16) yet small enough that essentially
-// every off-envelope pair is still pruned.
-const pruneMargin = 1e-9
-
-// pair is one precompiled scheduling point: the time t and the demand
-// (EDF, Eq. 9) or request bound (FP, Eq. 5) w at t.
-type pair struct {
-	t, w float64
-}
+// On top of hoisting, the profile prunes pairs that can never decide
+// the result. The dominance argument — two qNeeded curves cross at most
+// once on P > 0, so a pair ranked at or below another at both the P → 0⁺
+// and P → ∞ extremes is below it for every P — lives in
+// internal/envelope, together with the machinery that maintains the
+// surviving set under churn. The profile holds an envelope.Index over
+// its pre-pruning EDF demand stream: Compile builds it once, and the
+// incremental constructors (incremental.go) patch it in place of the
+// full re-prune they used to perform, so the envelope cost of an
+// admission event tracks the touched points, not the stream. Dominance
+// is applied with a relative margin (envelope.PruneMargin) far above
+// float64 noise, so the pruned scan returns bit-identical results to
+// the naive oracle MinQ.
 
 // Profile is a task set's demand structure compiled for one scheduling
 // algorithm: everything minQ needs that does not depend on the period P.
 // A Profile is immutable after Compile and safe for concurrent use; the
-// incremental constructors WithTask and WithoutTask (incremental.go)
-// return new profiles and share unchanged state with the receiver.
+// incremental constructors WithTask(s) and WithoutTask(s)
+// (incremental.go) return new profiles and share unchanged state with
+// the receiver.
 type Profile struct {
 	alg Alg
 	// edf holds the surviving (t, W(t)) pairs of Eq. (11), ascending in
-	// t. Used when alg == EDF.
-	edf []pair
+	// t — the materialized envelope of idx. Used when alg == EDF.
+	edf []envelope.Pair
 	// fp holds, per task in priority order, the surviving
 	// (t, W_i(t)) pairs of that task's scheduling-point search in
 	// Eq. (6), ascending in t. Used when alg is RM or DM.
-	fp [][]pair
+	fp [][]envelope.Pair
 
-	// The fields below are the incremental-update state: the pre-pruning
-	// demand streams retained alongside the pruned envelope, a deliberate
-	// memory-for-latency trade (see incremental.go) that stays private to
-	// the profile. tasks is the compiled set — in declaration order for
-	// EDF (the order the demand sum accumulates in) and in priority order
-	// for RM/DM (the order the fp rows are built in).
+	// idx is the incremental envelope index over the pre-pruning EDF
+	// deadline stream: the stream itself, per-point owner counts, the
+	// demand row W(t) and the maintained dominance envelope. nil for
+	// FP and empty profiles. The index is treated as immutable once the
+	// profile is published; incremental updates Clone it first, so
+	// what-if probes (core's compiled clones, online's trial admits)
+	// share one snapshot.
+	idx *envelope.Index
+
+	// The fields below are the incremental-update state: the prefix
+	// demand rows retained alongside the index, a deliberate
+	// memory-for-latency trade (see incremental.go) that stays private
+	// to the profile. tasks is the compiled set — in declaration order
+	// for EDF (the order the demand sum accumulates in) and in priority
+	// order for RM/DM (the order the fp rows are built in).
 	tasks task.Set
 	// horizon is the EDF hyperperiod the deadline stream was enumerated
 	// to (horizonInt its integer numerator over HyperperiodDenominator,
-	// for O(1) change detection); ts is that unpruned stream, ascending;
-	// owners[k] counts how many tasks have a deadline at ts[k], so a
-	// departure drops exactly the points whose count reaches zero without
-	// rescanning the survivors; pre[i][k] is the prefix demand Σ_{j ≤ i}
-	// contribution of tasks[j] at ts[k], so pre[i] is the exact partial
-	// sum DemandBound(tasks[:i+1], ts[k]) accumulates and
-	// pre[len(tasks)-1] is the full W(t) row the envelope prunes.
-	// scaled[i] is tasks[i].T as an integer numerator over
+	// for O(1) change detection); pre[i][k] is the prefix demand
+	// Σ_{j ≤ i} contribution of tasks[j] at the k-th stream point, so
+	// pre[i] is the exact partial sum DemandBound(tasks[:i+1], ·)
+	// accumulates and pre[len(tasks)-1] is the full W(t) row the index
+	// prunes. scaled[i] is tasks[i].T as an integer numerator over
 	// HyperperiodDenominator, cached so a departure can re-fold the
 	// hyperperiod with pure integer LCMs.
-	// rankKeys is the sorted key order of the last EDF envelope pass,
-	// kept purely as a sort seed: churn barely perturbs the rank order,
-	// so seeding the next pass with it makes the sort near-linear. The
-	// sorted permutation of the (unique) keys is unique, so the seed can
-	// never change a result.
 	horizon    float64
 	horizonInt int64
 	scaled     []int64
-	ts         []float64
-	owners     []int32
 	pre        [][]float64
-	rankKeys   []uint64
+	// fallbacks counts how many times this profile's incremental
+	// lineage bailed to a full recompile (hyperperiod change, or a
+	// violated stream invariant); carried across updates so online
+	// managers can report the incremental path's hit rate.
+	fallbacks uint64
+	// pinned counts the prefix-row cells reachable through this
+	// profile's row backings — including cells that only a shared
+	// ancestor still addresses. The ratio pinned/live drives
+	// consolidation (see MemStats).
+	pinned int
 }
 
 // Compile builds the profile of s under alg. It performs all the
@@ -133,15 +122,14 @@ func Compile(s task.Set, alg Alg) (*Profile, error) {
 		pf.tasks = append(task.Set(nil), s...)
 		pf.horizon = h
 		pf.horizonInt = hInt
-		pf.ts = dls
-		pf.owners = make([]int32, len(dls))
+		owners := make([]int32, len(dls))
 		for _, tk := range s {
 			i := 0
 			for _, x := range points.TaskDeadlines(tk, h) {
 				for dls[i] != x {
 					i++
 				}
-				pf.owners[i]++
+				owners[i]++
 				i++
 			}
 		}
@@ -153,11 +141,16 @@ func Compile(s task.Set, alg Alg) (*Profile, error) {
 				pf.pre[r][k] = w
 			}
 		}
-		pf.edf, pf.rankKeys = envelopePairs(dls, pf.pre[len(s)-1], nil)
+		pf.idx, err = envelope.Build(false, dls, pf.pre[len(s)-1], owners)
+		if err != nil {
+			return nil, err
+		}
+		pf.edf = pf.idx.Kept()
+		pf.pinned = len(s) * len(dls)
 	case RM, DM:
 		ordered := alg.sorted(s)
 		pf.tasks = ordered
-		pf.fp = make([][]pair, len(ordered))
+		pf.fp = make([][]envelope.Pair, len(ordered))
 		for i, tk := range ordered {
 			pf.fp[i] = compileFPRow(ordered[:i], tk)
 		}
@@ -192,24 +185,13 @@ func demandTerm(tk task.Task, x float64) float64 {
 // (t, W_i(t)) pairs of task tk's scheduling-point search under the
 // higher-priority set hp. Compile and the incremental suffix rebuilds
 // share this path, so their rows are bit-identical by construction.
-func compileFPRow(hp task.Set, tk task.Task) []pair {
+func compileFPRow(hp task.Set, tk task.Task) []envelope.Pair {
 	pts := points.FixedPriority(hp, tk.D)
-	all := make([]pair, len(pts))
+	all := make([]envelope.Pair, len(pts))
 	for k, t := range pts {
-		all[k] = pair{t: t, w: RequestBound(tk.C, hp, t)}
+		all[k] = envelope.Pair{T: t, W: RequestBound(tk.C, hp, t)}
 	}
-	return envelope(all, true)
-}
-
-// envelopePairs zips a deadline stream with its demand row and prunes,
-// seeding the rank sort with a previous pass's key order (nil for a
-// cold start) and returning the new order for the next pass.
-func envelopePairs(ts, w []float64, hint []uint64) ([]pair, []uint64) {
-	all := make([]pair, len(ts))
-	for k := range ts {
-		all[k] = pair{t: ts[k], w: w[k]}
-	}
-	return envelopeHinted(all, false, hint)
+	return envelope.Prune(all, true)
 }
 
 // Alg returns the algorithm the profile was compiled for.
@@ -225,6 +207,105 @@ func (pf *Profile) Pairs() int {
 	return n
 }
 
+// Fallbacks returns how many times this profile's incremental lineage
+// fell back to a full recompile instead of patching (a hyperperiod
+// change on admit or release, or a violated stream invariant). A fresh
+// Compile starts at zero; WithTask(s)/WithoutTask(s) carry the count
+// forward and increment it on each bail.
+func (pf *Profile) Fallbacks() uint64 { return pf.fallbacks }
+
+// MemStats describes the memory retained by a profile's incremental
+// state, in units that expose sharing waste rather than bytes.
+type MemStats struct {
+	// RetainedPoints is the pre-pruning scheduling-point count (the
+	// envelope index's stream length; 0 for FP profiles).
+	RetainedPoints int
+	// LivePairs is the pruned pair count MinQ scans (Profile.Pairs).
+	LivePairs int
+	// OwnerTable is the per-point owner-count table size.
+	OwnerTable int
+	// LiveCells is the number of prefix-row cells (EDF) or
+	// fixed-priority pair cells (RM/DM) the profile actually reads.
+	LiveCells int
+	// PinnedCells is the number of cells kept reachable through the
+	// profile's slice backings — LiveCells plus whatever shared
+	// ancestors' backings the row headers still pin.
+	PinnedCells int
+}
+
+// Ratio is PinnedCells over LiveCells: 1 when the profile's backings
+// hold exactly its own state, growing as incremental updates accumulate
+// references into ancestors' backings. online.Manager consolidates a
+// channel when this crosses its configured threshold.
+func (m MemStats) Ratio() float64 {
+	if m.LiveCells <= 0 {
+		return 1
+	}
+	return float64(m.PinnedCells) / float64(m.LiveCells)
+}
+
+// MemStats reports the profile's retained-memory shape. It is a cheap
+// O(rows) accounting pass, safe for concurrent use.
+func (pf *Profile) MemStats() MemStats {
+	var m MemStats
+	m.LivePairs = pf.Pairs()
+	if pf.idx != nil {
+		m.RetainedPoints = pf.idx.Len()
+		m.OwnerTable = pf.idx.Len()
+		m.LiveCells = len(pf.pre) * pf.idx.Len()
+		m.PinnedCells = pf.pinned
+		return m
+	}
+	for _, row := range pf.fp {
+		m.LiveCells += len(row)
+		m.PinnedCells += cap(row)
+	}
+	return m
+}
+
+// Check audits the profile against the full-compile oracle: the
+// envelope index's own invariants (envelope.Check) plus a bitwise
+// comparison of the retained stream, owner counts, prefix rows and
+// pruned pairs against a fresh Compile of the same set. It is the
+// profile-level quiescent-point audit internal/chaos runs.
+func (pf *Profile) Check() error {
+	if err := envelope.Check(pf.idx); err != nil {
+		return fmt.Errorf("analysis: profile check: %w", err)
+	}
+	fresh, err := Compile(pf.tasks, pf.alg)
+	if err != nil {
+		return fmt.Errorf("analysis: profile check: recompile: %w", err)
+	}
+	if !pf.Equal(fresh) {
+		return fmt.Errorf("analysis: profile check: pruned pairs differ from fresh Compile (%d vs %d)", pf.Pairs(), fresh.Pairs())
+	}
+	if pf.idx != nil {
+		ts, want := pf.idx.Ts(), fresh.idx.Ts()
+		if len(ts) != len(want) {
+			return fmt.Errorf("analysis: profile check: %d stream points, fresh Compile has %d", len(ts), len(want))
+		}
+		for k := range ts {
+			if math.Float64bits(ts[k]) != math.Float64bits(want[k]) {
+				return fmt.Errorf("analysis: profile check: stream point %d is %v, fresh Compile has %v", k, ts[k], want[k])
+			}
+		}
+		owners, wantOwners := pf.idx.Owners(), fresh.idx.Owners()
+		for k := range owners {
+			if owners[k] != wantOwners[k] {
+				return fmt.Errorf("analysis: profile check: owner count at point %d is %d, fresh Compile has %d", k, owners[k], wantOwners[k])
+			}
+		}
+		for r := range pf.pre {
+			for k := range pf.pre[r] {
+				if math.Float64bits(pf.pre[r][k]) != math.Float64bits(fresh.pre[r][k]) {
+					return fmt.Errorf("analysis: profile check: prefix row %d point %d diverged from fresh Compile", r, k)
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // MinQ computes minQ(T, alg, P) from the compiled profile: the same
 // value the reference MinQ(s, alg, p) returns, bit for bit, but as a
 // single pass over the precompiled pairs with zero allocations. p must
@@ -237,7 +318,7 @@ func (pf *Profile) MinQ(p float64) float64 {
 	if pf.alg == EDF {
 		q := 0.0
 		for _, pr := range pf.edf {
-			if v := qNeeded(pr.t, p, pr.w); v > q {
+			if v := qNeeded(pr.T, p, pr.W); v > q {
 				q = v
 			}
 		}
@@ -247,7 +328,7 @@ func (pf *Profile) MinQ(p float64) float64 {
 	for _, pts := range pf.fp {
 		best := math.Inf(1)
 		for _, pr := range pts {
-			if v := qNeeded(pr.t, p, pr.w); v < best {
+			if v := qNeeded(pr.T, p, pr.W); v < best {
 				best = v
 			}
 		}
@@ -256,135 +337,4 @@ func (pf *Profile) MinQ(p float64) float64 {
 		}
 	}
 	return q
-}
-
-// envelope removes the pairs that are dominated for every P > 0 (see
-// the file comment for the argument). With min = false it keeps the
-// candidates for the maximum of qNeeded over the pairs (EDF, Eq. 11);
-// with min = true, the candidates for the minimum (the inner search of
-// FP's Eq. 6). all must be ascending in t (as the scheduling-point sets
-// are); the retained pairs are returned ascending in t, filtered in
-// place of all's backing.
-//
-// The pass is sorting-bound, and it runs on every incremental profile
-// update, so the rank0 order is computed by sorting packed uint64 keys
-// (the order-preserving bit transform of rank0 with the pair index in
-// the low 16 bits) rather than fat structs behind a comparator. The
-// index tiebreak perturbs the order only within 2¹⁶ ulps (~1e-12
-// relative), three orders of magnitude inside the 1e-9 pruneMargin, so
-// dominance decisions — which compare the true float64 ranks — remain
-// valid: a curve folded as a dominator is still a genuine dominator, and
-// at worst a razor-edge pair is kept that a pure rank order would have
-// pruned. The envelope stays a deterministic function of its input, and
-// every compile path (fresh and incremental) shares it, which is what
-// the bit-identity guarantee of WithTask/WithoutTask rests on. Inputs
-// too long for the 16-bit index fall back to the comparator sort.
-func envelope(all []pair, min bool) []pair {
-	kept, _ := envelopeHinted(all, min, nil)
-	return kept
-}
-
-// envelopeHinted is envelope with an optional sort seed: hint, when its
-// length matches, is a previously sorted key order whose indices refer
-// to the same positions in all; seeding with it makes the rank sort
-// near-linear under churn. It returns the sorted key order for reuse.
-func envelopeHinted(all []pair, min bool, hint []uint64) ([]pair, []uint64) {
-	if len(all) <= 1 {
-		return all, nil
-	}
-	sign := 1.0
-	if min {
-		sign = -1
-	}
-	// rank0 orders the curves as P → 0⁺, rankInf as P → ∞; the sign
-	// flip turns the min-envelope into the max-envelope of −qNeeded.
-	n := len(all)
-	rank0 := make([]float64, 2*n)
-	rankInf := rank0[n:]
-	rank0 = rank0[:n:n]
-	for i, pr := range all {
-		rank0[i] = sign * pr.w / pr.t
-		rankInf[i] = sign * (pr.w - pr.t)
-	}
-	order, idxMask := rankOrder(rank0, hint)
-	margin := func(v float64) float64 { return pruneMargin * (1 + math.Abs(v)) }
-	drop := make([]bool, n)
-	bestInf := math.Inf(-1)
-	lead := 0
-	for j, key := range order {
-		// Fold into bestInf every curve that beats pair idx at P → 0⁺ by
-		// a clear margin; those are its admissible dominators.
-		idx := int(key & idxMask)
-		thr := rank0[idx] + margin(rank0[idx])
-		for lead < j && rank0[int(order[lead]&idxMask)] >= thr {
-			if v := rankInf[int(order[lead]&idxMask)]; v > bestInf {
-				bestInf = v
-			}
-			lead++
-		}
-		if bestInf >= rankInf[idx]+margin(rankInf[idx]) {
-			drop[idx] = true // dominated at both extremes: below for every P
-		}
-	}
-	kept := all[:0]
-	for i, pr := range all {
-		if !drop[i] {
-			kept = append(kept, pr)
-		}
-	}
-	return kept, order
-}
-
-// rankIdxBits is the index width of packed rank keys.
-const rankIdxBits = 16
-
-// rankOrder returns keys sorted so that the indices they carry (in the
-// bits selected by the returned mask) walk rank0 in descending value
-// order, with sub-ulp index tiebreaks as described at envelope. hint,
-// when its length matches, supplies the index order to build the keys
-// in before sorting — a seed only; the sorted result is the unique
-// sorted permutation either way. Longer inputs (> 2¹⁶ scheduling points
-// in one channel) fall back to a comparator sort whose keys are the raw
-// indices (mask all-ones), still deterministic.
-func rankOrder(rank0 []float64, hint []uint64) (keys []uint64, idxMask uint64) {
-	n := len(rank0)
-	keys = make([]uint64, n)
-	if n > 1<<rankIdxBits {
-		for i := range keys {
-			keys[i] = uint64(i)
-		}
-		slices.SortFunc(keys, func(a, b uint64) int {
-			switch {
-			case rank0[a] > rank0[b]:
-				return -1
-			case rank0[a] < rank0[b]:
-				return 1
-			}
-			return int(a) - int(b)
-		})
-		return keys, ^uint64(0)
-	}
-	const mask = 1<<rankIdxBits - 1
-	pack := func(i int) uint64 {
-		// Order-preserving float64 → uint64 transform, inverted for
-		// descending order, index in the low bits as tiebreak.
-		bits := math.Float64bits(rank0[i])
-		if bits&(1<<63) != 0 {
-			bits = ^bits
-		} else {
-			bits |= 1 << 63
-		}
-		return (^bits &^ mask) | uint64(i)
-	}
-	if len(hint) == n {
-		for j, h := range hint {
-			keys[j] = pack(int(h & mask))
-		}
-	} else {
-		for i := range rank0 {
-			keys[i] = pack(i)
-		}
-	}
-	slices.Sort(keys)
-	return keys, mask
 }

@@ -165,34 +165,73 @@ func TestProfilePruning(t *testing.T) {
 	}
 }
 
-// TestRankOrderFallbackBoundary pins the comparator fallback of
-// rankOrder for inputs beyond the 16-bit packed-index width: the
-// returned keys must decode (via the returned mask) to a permutation
-// walking rank0 in descending order on both sides of the boundary. A
-// masking bug here once read indices modulo 2^16 and pruned unrelated
-// pairs.
-func TestRankOrderFallbackBoundary(t *testing.T) {
-	for _, n := range []int{1 << 16, 1<<16 + 1} {
-		rank0 := make([]float64, n)
-		for i := range rank0 {
-			rank0[i] = float64((i * 2654435761) % n)
+// TestProfileCheckAndMemStats exercises the audit and accounting
+// surface the online layer consolidates on: a fresh Compile passes
+// Check with a pinned/live ratio of exactly 1, an incremental chain
+// still passes Check while its ratio grows past 1 (shared ancestor
+// backings stay pinned), and a recompile resets the ratio.
+// (The packed-key width boundary itself — beyond which the index takes
+// a comparator fallback — is pinned by TestIndexBigFallback in
+// internal/envelope.)
+func TestProfileCheckAndMemStats(t *testing.T) {
+	s := task.PaperTaskSet().ByMode(task.FT)
+	pf, err := Compile(s, EDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if r := pf.MemStats().Ratio(); r != 1 {
+		t.Fatalf("fresh Compile ratio = %g, want 1", r)
+	}
+	if pf.Fallbacks() != 0 {
+		t.Fatalf("fresh Compile fallbacks = %d, want 0", pf.Fallbacks())
+	}
+	// Twin-period guests keep the hyperperiod fixed, so every cycle
+	// stays on the incremental path and accumulates pinned rows.
+	guest := task.Task{Name: "guest", C: 0.05, T: s[0].T, D: s[0].T}
+	cur := pf
+	for i := 0; i < 4; i++ {
+		grown, err := cur.WithTask(guest)
+		if err != nil {
+			t.Fatal(err)
 		}
-		keys, mask := rankOrder(rank0, nil)
-		if len(keys) != n {
-			t.Fatalf("n=%d: %d keys", n, len(keys))
+		if cur, err = grown.WithoutTask(guest); err != nil {
+			t.Fatal(err)
 		}
-		seen := make([]bool, n)
-		prev := math.Inf(1)
-		for _, k := range keys {
-			idx := int(k & mask)
-			if idx < 0 || idx >= n || seen[idx] {
-				t.Fatalf("n=%d: decoded index %d invalid or repeated", n, idx)
-			}
-			seen[idx] = true
-			if rank0[idx] > prev {
-				t.Fatalf("n=%d: rank order not descending at index %d", n, idx)
-			}
-			prev = rank0[idx]
-		}
+	}
+	if err := cur.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if cur.Fallbacks() != 0 {
+		t.Fatalf("twin-guest churn fell back %d times, want 0", cur.Fallbacks())
+	}
+	if r := cur.MemStats().Ratio(); r <= 1 {
+		t.Fatalf("churned profile ratio = %g, want > 1 (pinned ancestor rows)", r)
+	}
+	fresh, err := Compile(cur.Tasks(), EDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := fresh.MemStats().Ratio(); r != 1 {
+		t.Fatalf("recompiled ratio = %g, want 1", r)
+	}
+	// An off-grid guest stretches the hyperperiod: both directions bail
+	// to the oracle and say so.
+	stretch := task.Task{Name: "stretch", C: 0.01, T: 7, D: 7}
+	grown, err := cur.WithTask(stretch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := grown.WithoutTask(stretch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Fallbacks(); got != 2 {
+		t.Fatalf("hyperperiod round trip fallbacks = %d, want 2", got)
+	}
+	if err := back.Check(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -23,6 +23,11 @@
 //   - Capacity: the slots fit the period minus the currently revoked
 //     capacity.
 //
+//   - Envelope audit: every channel's incremental profile passes the
+//     full analysis.Profile.Check — the envelope index's structural
+//     invariants plus a bitwise comparison of its retained streams and
+//     pruned pairs against a fresh compile.
+//
 // Runs are seeded and deterministic in their op sequence (the
 // interleaving is whatever the scheduler does — that is the point);
 // the harness is reusable from tests (go test -race gates it in CI)
@@ -34,12 +39,14 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/online"
 	"repro/internal/task"
 	"repro/internal/timeu"
+	"repro/internal/trace"
 )
 
 // Options tune a chaos run. The zero value gives the CI-sized storm:
@@ -97,13 +104,15 @@ type Result struct {
 	Evicted      int // tasks evicted by revocations
 	Readmitted   int // tasks readmitted by restores
 	Consolidates int // Consolidate sweeps
+	Fallbacks    int // envelope-fallback events (patch bailed to full recompile)
+	Rebuilds     int // consolidated events (channel stream rebuilt from scratch)
 }
 
 // String renders the tallies on one line.
 func (r *Result) String() string {
-	return fmt.Sprintf("rounds %d ops %d: admits %d rejects %d partials %d shed %d removes %d | revokes %d restores %d evicted %d readmitted %d | consolidations %d",
+	return fmt.Sprintf("rounds %d ops %d: admits %d rejects %d partials %d shed %d removes %d | revokes %d restores %d evicted %d readmitted %d | consolidations %d rebuilds %d fallbacks %d",
 		r.Rounds, r.Ops, r.Admits, r.Rejects, r.Partials, r.Shed, r.Removes,
-		r.Revokes, r.Restores, r.Evicted, r.Readmitted, r.Consolidates)
+		r.Revokes, r.Restores, r.Evicted, r.Readmitted, r.Consolidates, r.Rebuilds, r.Fallbacks)
 }
 
 // writer is one admission storm participant with its own guest
@@ -224,6 +233,24 @@ func Run(m *online.Manager, pr core.Problem, opts Options) (*Result, error) {
 	cfg := m.Config()
 	residents := append(task.Set(nil), pr.Tasks...)
 	total := &Result{}
+
+	// Count the envelope-maintenance events the manager reports while
+	// the storm runs: patches that bailed to a full recompile and
+	// channels rebuilt by consolidation.
+	var fallbacks, rebuilds atomic.Int64
+	m.SetEventSink(func(ev online.Event) {
+		switch ev.Kind {
+		case trace.EnvelopeFallback:
+			fallbacks.Add(1)
+		case trace.Consolidated:
+			rebuilds.Add(1)
+		}
+	})
+	defer m.SetEventSink(nil)
+	defer func() {
+		total.Fallbacks = int(fallbacks.Load())
+		total.Rebuilds = int(rebuilds.Load())
+	}()
 
 	// The capacity scenario: per round, a Poisson fault schedule
 	// rendered as revoke/restore pairs, each fault withdrawing the
@@ -443,6 +470,9 @@ func mergeTally(dst, src *Result) {
 func checkQuiescent(m *online.Manager, pr core.Problem, writers []*writer, residents task.Set, round int) error {
 	if err := m.Verify(); err != nil {
 		return fmt.Errorf("chaos: round %d: Verify: %w", round, err)
+	}
+	if err := m.CheckProfiles(); err != nil {
+		return fmt.Errorf("chaos: round %d: envelope audit: %w", round, err)
 	}
 	live := m.Tasks()
 	parked := m.Parked()

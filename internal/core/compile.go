@@ -115,11 +115,13 @@ func (cp *CompiledProblem) ConfigFor(p float64) (Config, error) {
 // WithTask returns a compiled problem for the problem's task set plus t
 // (normalised), updating only the profile of the channel t joins — the
 // other channels' profiles are shared with the receiver, and the touched
-// one is patched incrementally (analysis.Profile.WithTask). Together
-// with MinQuanta this answers "what if this task joined channel i"
-// without recompiling anything: cp.WithTask(t) costs the newcomer's own
-// deadline stream, and the receiver is unchanged, so rejected what-ifs
-// are free to discard.
+// one is patched incrementally (analysis.Profile.WithTask, which clones
+// the channel's envelope index and shares its immutable ancestor
+// snapshot). Together with MinQuanta this answers "what if this task
+// joined channel i" without recompiling anything: cp.WithTask(t) costs
+// the newcomer's own deadline stream plus the affected envelope span,
+// and the receiver is unchanged, so rejected what-ifs are free to
+// discard.
 func (cp *CompiledProblem) WithTask(t task.Task) (*CompiledProblem, error) {
 	t = t.Normalized()
 	if err := t.Validate(); err != nil {
@@ -173,7 +175,8 @@ func (cp *CompiledProblem) WithoutTask(name string) (*CompiledProblem, error) {
 // every task in add (normalised, in order). It is the batched WithTask:
 // the batch is grouped by (mode, channel) and each touched channel's
 // profile is patched once with analysis.Profile.WithTasks — one stream
-// merge and one envelope re-prune per channel instead of one per task —
+// merge and one envelope-index update per channel instead of one per
+// task —
 // while untouched channels share their profiles with the receiver. The
 // whole batch is validated up front (names present, unique within the
 // batch, absent from the problem), so the result is all-or-nothing and

@@ -1,0 +1,78 @@
+package envelope
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+var benchSink []Pair
+
+// BenchmarkEnvelopeChurn measures one admit/remove event (a 4-point
+// batch in, then back out, mid-stream) against streams of growing
+// length. The index maintains the envelope in place, so the per-event
+// cost tracks the touched points and the affected envelope span; the
+// reprune baseline re-sorts and re-prunes the full pair stream on
+// every event, so its cost grows with the stream.
+func BenchmarkEnvelopeChurn(b *testing.B) {
+	for _, n := range []int{32, 256, 2048} {
+		r := rand.New(rand.NewSource(int64(n)))
+		ts := make([]float64, n)
+		ws := make([]float64, n)
+		for i := range ts {
+			ts[i] = float64(i + 1)
+			ws[i] = ts[i] * (0.3 + 1.2*r.Float64())
+		}
+		// Off-grid points landing mid-stream: both the time order and
+		// the rank order take interior insertions.
+		churn := make([]Pair, 4)
+		rm := make([]float64, len(churn))
+		for i := range churn {
+			tv := float64(n)/2 + float64(i) + 0.5
+			churn[i] = Pair{T: tv, W: tv * (0.3 + 1.2*r.Float64())}
+			rm[i] = tv
+		}
+		b.Run(fmt.Sprintf("index/n=%d", n), func(b *testing.B) {
+			x, err := Build(false, ts, ws, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := x.Insert(churn); err != nil {
+					b.Fatal(err)
+				}
+				if err := x.Remove(rm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("reprune/n=%d", n), func(b *testing.B) {
+			base := make([]Pair, n)
+			for i := range ts {
+				base[i] = Pair{T: ts[i], W: ws[i]}
+			}
+			grown := make([]Pair, 0, n+len(churn))
+			scratch := make([]Pair, n+len(churn))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Insert event: merge the batch into the stream, prune all.
+				grown = grown[:0]
+				j := 0
+				for _, pr := range base {
+					for j < len(churn) && churn[j].T < pr.T {
+						grown = append(grown, churn[j])
+						j++
+					}
+					grown = append(grown, pr)
+				}
+				grown = append(grown, churn[j:]...)
+				benchSink = Prune(append(scratch[:0], grown...), false)
+				// Remove event: back to the base stream, prune again.
+				benchSink = Prune(append(scratch[:0], base...), false)
+			}
+		})
+	}
+}

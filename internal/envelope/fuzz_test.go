@@ -1,0 +1,128 @@
+package envelope
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzIndexChurn interprets the input bytes as an op stream driving an
+// Index through inserts (including duplicate-point owner bumps and
+// razor ties within the pruning margin), owner releases, sparse and
+// dense demand updates, and full drains, checking after every op that
+// the index is internally consistent (Check) and bit-identical to the
+// naive re-prune oracle. `go test` replays the seed corpus; `go test
+// -fuzz=FuzzIndexChurn` explores mutations.
+func FuzzIndexChurn(f *testing.F) {
+	// Duplicate points: the same T inserted repeatedly becomes owner
+	// bumps, then released one owner at a time.
+	f.Add([]byte{0, 3, 40, 0, 3, 40, 0, 3, 90, 2, 0, 2, 0, 2, 0})
+	// Razor ties: seed two points, then stack near-ties within the
+	// 1e-9 margin on top of them.
+	f.Add([]byte{0, 2, 60, 0, 7, 30, 1, 0, 0, 1, 1, 1, 1, 0, 2, 1, 1, 3})
+	// Empty-index recovery: grow, drain everything, grow again.
+	f.Add([]byte{0, 1, 50, 0, 4, 20, 0, 9, 70, 5, 0, 6, 33, 0, 11, 80, 5, 0, 2, 10})
+	// Demand churn: sparse and dense SetDemand over a small stream.
+	f.Add([]byte{0, 5, 25, 0, 8, 55, 0, 12, 85, 3, 0, 99, 4, 10, 20, 30, 3, 2, 1, 4, 90, 80, 70})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		for _, min := range []bool{false, true} {
+			x := New(min)
+			m := &churnModel{}
+			// The rand source only drives checkSound's probe points, not
+			// the op sequence; any fixed seed keeps the run deterministic.
+			r := rand.New(rand.NewSource(int64(len(data))))
+			i := 0
+			next := func() byte {
+				if i >= len(data) {
+					return 0
+				}
+				b := data[i]
+				i++
+				return b
+			}
+			for i < len(data) {
+				switch next() % 6 {
+				case 0: // insert a point; if present, bump its owner count
+					tv := 1 + float64(next()%24)
+					w := tv * (0.1 + float64(next())/96)
+					if j := m.pos(tv); j >= 0 {
+						if err := x.AddOwners([]float64{tv}); err != nil {
+							t.Fatal(err)
+						}
+						m.own[j]++
+					} else {
+						if err := x.Insert([]Pair{{T: tv, W: w}}); err != nil {
+							t.Fatal(err)
+						}
+						m.insert(tv, w, 1)
+					}
+				case 1: // razor tie: rank0 within the margin of an existing point
+					if len(m.ts) == 0 {
+						continue
+					}
+					o := int(next()) % len(m.ts)
+					tv := 1 + float64(next()%24)
+					for m.pos(tv) >= 0 && tv < 25 {
+						tv++
+					}
+					if m.pos(tv) >= 0 {
+						continue
+					}
+					frac := (float64(next())/255 - 0.5) * PruneMargin
+					w := m.ws[o] / m.ts[o] * (1 + frac) * tv
+					if err := x.Insert([]Pair{{T: tv, W: w}}); err != nil {
+						t.Fatal(err)
+					}
+					m.insert(tv, w, 1)
+				case 2: // release one owner; the point leaves at count zero
+					if len(m.ts) == 0 {
+						continue
+					}
+					o := int(next()) % len(m.ts)
+					if err := x.Remove([]float64{m.ts[o]}); err != nil {
+						t.Fatal(err)
+					}
+					m.own[o]--
+					m.compact()
+				case 3: // sparse demand update at one point
+					if len(m.ts) == 0 {
+						continue
+					}
+					o := int(next()) % len(m.ts)
+					m.ws[o] = m.ts[o] * (0.1 + float64(next())/96)
+					if err := x.SetDemand(append([]float64(nil), m.ws...)); err != nil {
+						t.Fatal(err)
+					}
+				case 4: // dense demand update across the whole stream
+					if len(m.ts) == 0 {
+						continue
+					}
+					for j := range m.ws {
+						m.ws[j] = m.ts[j] * (0.1 + float64(next())/96)
+					}
+					if err := x.SetDemand(append([]float64(nil), m.ws...)); err != nil {
+						t.Fatal(err)
+					}
+				case 5: // drain to empty, one owner per point per pass
+					for len(m.ts) > 0 {
+						stream := make([]float64, len(m.ts))
+						copy(stream, m.ts)
+						for j := range m.own {
+							m.own[j]--
+						}
+						if err := x.Remove(stream); err != nil {
+							t.Fatal(err)
+						}
+						m.compact()
+					}
+					if x.Len() != 0 {
+						t.Fatalf("index not empty after drain: %d points", x.Len())
+					}
+				}
+				verify(t, r, x, m)
+			}
+		}
+	})
+}

@@ -83,11 +83,7 @@ func (m *Manager) Revoke(capacity float64, pol Policy) (*DegradeReport, error) {
 	if err := next.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 	}
-	for _, tc := range touched {
-		tc.st.prof = tc.prof
-		tc.st.minq = tc.minq
-		tc.st.patches += tc.patches
-	}
+	m.installProfiles(touched)
 	parked := append(append(task.Set(nil), deg.parked...), evicted...)
 	m.live.Store(&live)
 	m.cfg.Store(&next)
@@ -154,11 +150,7 @@ func (m *Manager) Restore(capacity float64, pol Policy) (*DegradeReport, error) 
 	if err := next.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 	}
-	for _, tc := range touched {
-		tc.st.prof = tc.prof
-		tc.st.minq = tc.minq
-		tc.st.patches += tc.patches
-	}
+	m.installProfiles(touched)
 	// Keep eviction order for the surviving parked set.
 	live := append(append(task.Set(nil), *m.live.Load()...), readmitted...)
 	parked := make(task.Set, 0, len(stillParked))

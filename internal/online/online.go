@@ -37,11 +37,14 @@
 //
 //   - Bounded memory: each incremental patch shares prefix rows with
 //     its predecessor, which can pin the backing arrays of profiles
-//     long since replaced. A consolidation policy (Consolidate, or the
-//     automatic every-n-patches trigger of SetConsolidateEvery) rebuilds
-//     a channel's retained pre-pruning stream from scratch — bit-identical
-//     by the compile properties — so a long-lived high-churn manager's
-//     footprint stays proportional to the live task set.
+//     long since replaced. A consolidation policy (Consolidate on
+//     demand, or the automatic retained/live memory-ratio trigger of
+//     SetConsolidateRatio, fed by analysis.Profile.MemStats; the legacy
+//     every-n-patches trigger survives as the SetConsolidateEvery shim)
+//     rebuilds a channel's retained pre-pruning stream from scratch —
+//     bit-identical by the compile properties — so a long-lived
+//     high-churn manager's footprint stays proportional to the live
+//     task set.
 //
 // And it degrades gracefully instead of failing hard:
 //
@@ -70,6 +73,7 @@ package online
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -80,11 +84,18 @@ import (
 	"repro/internal/trace"
 )
 
-// DefaultConsolidateEvery is the automatic consolidation trigger a new
-// manager starts with: a channel's retained streams are rebuilt from
-// scratch after this many incremental patches. SetConsolidateEvery
-// changes it; 0 disables the trigger.
+// DefaultConsolidateEvery is the patch-count threshold the legacy
+// SetConsolidateEvery shim documents; new managers no longer start with
+// it (they start with the memory-ratio trigger below), but installing
+// it restores the historical every-128-patches behaviour.
 const DefaultConsolidateEvery = 128
+
+// DefaultConsolidateRatio is the automatic consolidation trigger a new
+// manager starts with: a channel is rebuilt from scratch when its
+// profile's retained/live memory ratio (analysis.MemStats.Ratio — the
+// prefix-row cells its slice backings pin over the cells it actually
+// reads) reaches this factor. SetConsolidateRatio changes it.
+const DefaultConsolidateRatio = 4.0
 
 // Manager tracks a live configuration and reconfigures it in batches.
 // It is safe for concurrent use: batches touching disjoint channels
@@ -117,9 +128,14 @@ type Manager struct {
 
 	channels [task.NumModes][]*channelState
 
-	// consolidateEvery is the automatic consolidation threshold
-	// (atomic so SetConsolidateEvery needs no lock).
+	// consolidateEvery is the legacy patch-count consolidation
+	// threshold (atomic so SetConsolidateEvery needs no lock); 0 when
+	// the shim is not installed.
 	consolidateEvery atomic.Int64
+	// consolidateRatio is the retained/live memory-ratio consolidation
+	// threshold, stored as float64 bits (atomic so SetConsolidateRatio
+	// needs no lock); 0 disables the ratio trigger.
+	consolidateRatio atomic.Uint64
 
 	// events is the optional robustness-event sink (atomic so
 	// SetEventSink needs no lock).
@@ -136,18 +152,24 @@ type degradeState struct {
 }
 
 // Event is one robustness notification: tasks shed by partial
-// admission, evicted by a revocation, or readmitted by a restore, and
-// the capacity transitions themselves. Delivered synchronously to the
-// sink installed with SetEventSink.
+// admission, evicted by a revocation, or readmitted by a restore, the
+// capacity transitions themselves, and the incremental-analysis
+// housekeeping (envelope fallbacks, consolidations). Delivered
+// synchronously to the sink installed with SetEventSink.
 type Event struct {
 	// Kind is trace.Shed, trace.Evicted, trace.Readmitted,
-	// trace.Degraded or trace.Restored.
+	// trace.Degraded, trace.Restored, trace.EnvelopeFallback or
+	// trace.Consolidated.
 	Kind trace.Kind
 	// Tasks names the affected tasks (shed, evicted or readmitted), in
 	// policy order.
 	Tasks []string
 	// Revoked is the total capacity withdrawn after the transition.
 	Revoked float64
+	// Mode and Channel identify the affected channel for
+	// EnvelopeFallback and Consolidated events.
+	Mode    task.Mode
+	Channel int
 }
 
 // nameEntry records one admitted (or in-flight) task under its unique
@@ -220,7 +242,7 @@ func NewManagerFromCompiled(cp *core.CompiledProblem, cfg core.Config) (*Manager
 		p:     cfg.P,
 		names: make(map[string]*nameEntry, len(pr.Tasks)),
 	}
-	m.consolidateEvery.Store(DefaultConsolidateEvery)
+	m.consolidateRatio.Store(math.Float64bits(DefaultConsolidateRatio))
 	for _, mode := range task.Modes() {
 		profs := cp.ChannelProfiles(mode) // already a copy, and we re-home it
 		m.channels[mode] = make([]*channelState, len(profs))
@@ -670,11 +692,7 @@ func (m *Manager) commit(touched []*touchedChannel, added, removed, removedParke
 // parked set and the name registry. Caller holds commitMu and the
 // touched channels' locks.
 func (m *Manager) publishLocked(touched []*touchedChannel, added, removed, removedParked task.Set, next core.Config, deg *degradeState) {
-	for _, tc := range touched {
-		tc.st.prof = tc.prof
-		tc.st.minq = tc.minq
-		tc.st.patches += tc.patches
-	}
+	m.installProfiles(touched)
 	old := *m.live.Load()
 	live := make(task.Set, 0, len(old)+len(added))
 	for _, t := range old {
@@ -732,32 +750,74 @@ func (m *Manager) rejectOverflow(next core.Config, modes []task.Mode, binding ma
 	return rej
 }
 
-// SetConsolidateEvery sets the automatic consolidation trigger: after n
-// incremental patches a channel's retained streams are rebuilt from
-// scratch at the end of the reconfiguration that crossed the threshold.
-// n = 0 disables automatic consolidation (Consolidate stays available).
+// installProfiles swaps each touched shard's candidate profile in and
+// folds the accumulated patch counters. A channel whose incremental
+// lineage bailed to a full recompile during this reconfiguration (a
+// hyperperiod change, or a violated stream invariant) is reported to
+// the event sink as a trace.EnvelopeFallback. The caller holds the
+// channel locks (and, on batch paths, commitMu).
+func (m *Manager) installProfiles(touched []*touchedChannel) {
+	for _, tc := range touched {
+		if tc.prof != nil && tc.st.prof != nil && tc.prof.Fallbacks() > tc.st.prof.Fallbacks() {
+			m.emit(Event{Kind: trace.EnvelopeFallback, Mode: tc.st.mode, Channel: tc.st.ch, Revoked: m.deg.Load().revoked})
+		}
+		tc.st.prof = tc.prof
+		tc.st.minq = tc.minq
+		tc.st.patches += tc.patches
+	}
+}
+
+// SetConsolidateRatio sets the automatic consolidation trigger: a
+// just-reconfigured channel whose profile reports a retained/live
+// memory ratio (analysis.MemStats.Ratio) of at least r is rebuilt from
+// scratch at the end of the reconfiguration. r ≤ 0 disables the ratio
+// trigger (Consolidate stays available). Installing a ratio clears any
+// legacy patch-count threshold.
+func (m *Manager) SetConsolidateRatio(r float64) {
+	if r <= 0 || math.IsNaN(r) {
+		r = 0
+	}
+	m.consolidateRatio.Store(math.Float64bits(r))
+	m.consolidateEvery.Store(0)
+}
+
+// SetConsolidateEvery is the legacy patch-count trigger, kept as a
+// shim over the memory-ratio policy: after n incremental patches a
+// channel's retained streams are rebuilt from scratch at the end of
+// the reconfiguration that crossed the threshold. Installing it
+// replaces the ratio trigger; n = 0 disables automatic consolidation
+// entirely (Consolidate stays available). New code should prefer
+// SetConsolidateRatio, which tracks the actual memory waste instead of
+// a patch count.
 func (m *Manager) SetConsolidateEvery(n int) {
 	if n < 0 {
 		n = 0
 	}
 	m.consolidateEvery.Store(int64(n))
+	m.consolidateRatio.Store(0)
 }
 
-// maybeConsolidate rebuilds any of the just-reconfigured channels whose
-// patch count crossed the automatic threshold. The caller still holds
-// the channel locks; commitMu is not needed because the committed
-// decision caches (minq) are unchanged — the rebuild is bit-identical
-// by the compile properties, it only re-homes the retained streams into
+// maybeConsolidate rebuilds any of the just-reconfigured channels that
+// crossed the automatic threshold — the retained/live memory ratio, or
+// the patch count under the legacy shim. The caller still holds the
+// channel locks; commitMu is not needed because the committed decision
+// caches (minq) are unchanged — the rebuild is bit-identical by the
+// compile properties, it only re-homes the retained streams into
 // compact backing arrays.
 func (m *Manager) maybeConsolidate(touched []*touchedChannel) {
 	every := int(m.consolidateEvery.Load())
-	if every <= 0 {
+	ratio := math.Float64frombits(m.consolidateRatio.Load())
+	if every <= 0 && ratio <= 0 {
 		return
 	}
 	for _, tc := range touched {
-		if tc.st.patches >= every {
-			tc.st.consolidateLocked(m.alg)
+		switch {
+		case every > 0 && tc.st.patches >= every:
+		case ratio > 0 && tc.st.prof.MemStats().Ratio() >= ratio:
+		default:
+			continue
 		}
+		m.consolidateLocked(tc.st)
 	}
 }
 
@@ -775,7 +835,7 @@ func (m *Manager) Consolidate() int {
 	for _, mode := range task.Modes() {
 		for _, st := range m.channels[mode] {
 			st.mu.Lock()
-			if st.consolidateLocked(m.alg) {
+			if m.consolidateLocked(st) {
 				n++
 			}
 			st.mu.Unlock()
@@ -784,20 +844,42 @@ func (m *Manager) Consolidate() int {
 	return n
 }
 
-// consolidateLocked recompiles the channel's live tasks in place. The
+// consolidateLocked recompiles the channel's live tasks in place and
+// reports the rebuild to the event sink as a trace.Consolidated. The
 // caller holds st.mu. A channel with no incremental patches since its
 // last from-scratch compile is already compact and is skipped. A
 // compile failure (impossible for tasks that already compiled) keeps
 // the patched profile.
-func (st *channelState) consolidateLocked(alg analysis.Alg) bool {
+func (m *Manager) consolidateLocked(st *channelState) bool {
 	if st.patches == 0 {
 		return false
 	}
-	fresh, err := analysis.Compile(st.prof.Tasks(), alg)
+	fresh, err := analysis.Compile(st.prof.Tasks(), m.alg)
 	if err != nil {
 		return false
 	}
 	st.prof = fresh
 	st.patches = 0
+	m.emit(Event{Kind: trace.Consolidated, Mode: st.mode, Channel: st.ch, Revoked: m.deg.Load().revoked})
 	return true
+}
+
+// CheckProfiles audits every channel's compiled profile against the
+// full-compile oracle (analysis.Profile.Check): the envelope index's
+// own invariants plus a bitwise comparison of the retained streams and
+// pruned pairs against a fresh Compile. Full recompilation cost, one
+// channel lock at a time — a quiescent-point audit for harnesses
+// (internal/chaos), not a per-reshape check.
+func (m *Manager) CheckProfiles() error {
+	for _, mode := range task.Modes() {
+		for ch, st := range m.channels[mode] {
+			st.mu.Lock()
+			err := st.prof.Check()
+			st.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("online: channel %v/%d: %w", mode, ch, err)
+			}
+		}
+	}
+	return nil
 }

@@ -48,6 +48,14 @@ const (
 	Degraded
 	// Restored marks a capacity restore taking effect.
 	Restored
+	// EnvelopeFallback marks a channel whose incremental profile patch
+	// bailed to a full recompile (a hyperperiod change on admit or
+	// release), so the event paid the oracle's cost instead of the
+	// envelope index's.
+	EnvelopeFallback
+	// Consolidated marks a channel whose retained analysis state was
+	// rebuilt from scratch to unpin shared backing memory.
+	Consolidated
 )
 
 // String names the event kind.
@@ -81,6 +89,10 @@ func (k Kind) String() string {
 		return "degraded"
 	case Restored:
 		return "restored"
+	case EnvelopeFallback:
+		return "envelope-fallback"
+	case Consolidated:
+		return "consolidated"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
