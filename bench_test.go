@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"math/rand"
 	"fmt"
 	"runtime"
 	"sync"
@@ -728,4 +729,89 @@ func BenchmarkOnlineAdmission(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkScenarioReplay measures the scenario runtime end to end: a
+// seeded 64-event workload storm (admissions, partial admissions,
+// removals, revocations, restores) replayed against a fresh online
+// manager over 120 time units, every epoch simulated on all channels.
+// The custom metrics put the runtime in problem terms: workload events
+// and simulated ticks digested per second of wall clock.
+func BenchmarkScenarioReplay(b *testing.B) {
+	pr := PaperProblem(EDF)
+	cp, err := Compile(pr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol, err := Design(pr, MaxFlexibility)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const (
+		horizonUnits = 120.0
+		nEvents      = 64
+	)
+	rng := rand.New(rand.NewSource(17))
+	periods := []float64{8, 10, 12, 16}
+	var (
+		events []WorkloadEvent
+		pool   []string
+	)
+	start, end := 0.05*horizonUnits, 0.9*horizonUnits
+	step := (end - start) / nEvents
+	at := start
+	for i := 0; i < nEvents; i++ {
+		ev := WorkloadEvent{At: timeu.FromUnits(at + rng.Float64()*step*0.9)}
+		at += step
+		name := fmt.Sprintf("bench-g%d", i)
+		md := task.Modes()[rng.Intn(task.NumModes)]
+		guest := Task{
+			Name: name, C: 0.01 + 0.04*rng.Float64(), T: periods[rng.Intn(len(periods))],
+			Mode: md, Channel: rng.Intn(md.Channels()),
+		}
+		switch r := rng.Intn(10); {
+		case r < 5:
+			ev.Kind = EventAdmit
+			ev.Tasks = TaskSet{guest}
+			pool = append(pool, name)
+		case r < 7:
+			ev.Kind = EventAdmitPartial
+			ev.Tasks = TaskSet{guest}
+			pool = append(pool, name)
+		case r < 9 && len(pool) > 0:
+			ev.Kind = EventRemove
+			j := rng.Intn(len(pool))
+			ev.Names = []string{pool[j]}
+			pool = append(pool[:j], pool[j+1:]...)
+		default:
+			ev.Kind = EventRevoke
+			ev.Capacity = 0.01 * sol.Config.P
+		}
+		events = append(events, ev)
+	}
+	sc := Scenario{Events: events}
+	opts := ScenarioOptions{Options: SimOptions{Horizon: timeu.FromUnits(horizonUnits)}}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var epochs int
+	for i := 0; i < b.N; i++ {
+		// A fresh manager per iteration: replay mutates the live set.
+		mgr, err := NewOnlineManagerFromCompiled(cp, sol.Config)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := ReplayScenario(mgr, sc, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		epochs = res.Epochs
+	}
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(nEvents*b.N)/secs, "events/sec")
+		b.ReportMetric(float64(timeu.FromUnits(horizonUnits))*float64(b.N)/secs, "ticks/sec")
+	}
+	b.ReportMetric(float64(epochs), "epochs")
 }

@@ -15,6 +15,16 @@
 // checks the full-state invariants at every quiescent point:
 //
 //	ftsim -chaos [-chaosrounds 8] [-chaoswriters 0] [-chaosops 20] [-seed 1]
+//
+// With -scenario the command closes the analysis → execution loop: it
+// generates a seeded workload timeline (admissions, removals, capacity
+// revocations and restores), replays it against a live online manager
+// through the scenario runtime under fault injection, and asserts that
+// every admitted task met every deadline released during its residency
+// — reshapes, revocations and faults included:
+//
+//	ftsim -scenario [-events 48] [-horizon 360] [-faultrate 0.005]
+//	       [-faultdur 0.2] [-seed 1] [-gantt 0]
 package main
 
 import (
@@ -53,6 +63,9 @@ func main() {
 		chaosRounds  = flag.Int("chaosrounds", 0, "chaos storm rounds (0 = default 8)")
 		chaosWriters = flag.Int("chaoswriters", 0, "concurrent chaos writers (0 = one per channel)")
 		chaosOps     = flag.Int("chaosops", 0, "operations per chaos writer per round (0 = default 20)")
+
+		scenarioRun = flag.Bool("scenario", false, "replay a seeded workload scenario against the online manager and assert zero misses")
+		events      = flag.Int("events", 0, "scenario workload events (0 = default 48)")
 	)
 	flag.Parse()
 
@@ -106,7 +119,7 @@ func main() {
 	fmt.Printf("design: P=%.4f  Q̃=[FT %.4f, FS %.4f, NF %.4f]  slack=%.4f\n\n",
 		cfg.P, cfg.UsableQ(repro.FT), cfg.UsableQ(repro.FS), cfg.UsableQ(repro.NF), cfg.Slack())
 
-	if *chaosRun {
+	if *chaosRun || *scenarioRun {
 		// The bit-identity oracle re-derives minimal slots, so storm a
 		// manager built from the from-scratch solve at the designed
 		// period rather than from a possibly padded loaded design.
@@ -121,6 +134,33 @@ func main() {
 		m, err := repro.NewOnlineManagerFromCompiled(cp, minCfg)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *scenarioRun {
+			rate := *faultRate
+			if rate == 0 {
+				rate = -1 // ftsim's convention: no -faultrate means no faults
+			}
+			res, err := chaos.RunClosedLoop(m, chaos.LoopOptions{
+				Seed:               *seed,
+				Events:             *events,
+				HorizonUnits:       *horizon,
+				FaultRate:          rate,
+				FaultDurationUnits: *faultDur,
+				Parallel:           true,
+				CollectTrace:       *gantt > 0,
+			})
+			if res != nil {
+				fmt.Printf("scenario: %s\n", res)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *gantt > 0 && res.Replay != nil && res.Replay.Trace != nil {
+				fmt.Println()
+				fmt.Print(res.Replay.Trace.Gantt(0, timeu.FromUnits(*gantt), 100))
+			}
+			fmt.Println("scenario: every admitted residency met all deadlines")
+			return
 		}
 		res, err := chaos.Run(m, pr, chaos.Options{
 			Seed:         *seed,

@@ -76,9 +76,29 @@
 //     a from-scratch solve and the full envelope audit
 //     (Manager.CheckProfiles) at every quiescent point, while tallying
 //     envelope fallbacks and consolidation rebuilds (ftsim -chaos);
+//     RunClosedLoop then closes the analysis → execution loop: it
+//     replays a seeded workload storm through the scenario runtime
+//     under fault injection and asserts the headline invariant
+//     (ftsim -scenario);
 //   - internal/platform, internal/faults, internal/sim,
 //     internal/recovery, internal/trace: the executable platform model
-//     with fault injection and recovery policies;
+//     with fault injection and recovery policies. internal/sim is a
+//     scenario runtime as well as a one-shot simulator: Replay applies
+//     a timeline of workload events (Admit, AdmitPartial, Remove,
+//     Revoke, Restore at simulated instants) to a live online.Manager
+//     and executes the epochs the accepted changes induce — each
+//     configuration swap takes effect at the next slot-cycle boundary
+//     (mode-switch-safe, Figure 2), in-flight jobs carry across each
+//     reshape, and per-task statistics are kept per residency (one
+//     admission-to-departure tenure). The invariant it checks is the
+//     executable analogue of the admission guarantee: every task the
+//     manager admits meets every deadline released during its
+//     residency. Reshapes that shrink or shift a channel's windows
+//     displace under one slot-cycle period of backlog; since
+//     minimal-slot configurations have zero scheduling margin that
+//     backlog persists, and jobs late within one period per such
+//     reshape are classified TransitionLate — the bounded mode-change
+//     latency — apart from genuine misses;
 //   - internal/report: table and CSV rendering.
 //
 // A typical session: build a Problem, explore the feasible periods,

@@ -7,12 +7,14 @@
 // convenient to shrink or enlarge the time quanta").
 //
 // The example deploys the paper's task set with the max-flexibility
-// configuration and reconfigures it with the batched admission API:
-// a burst of arrivals lands as one all-or-nothing AdmitBatch (one
-// reshape, one configuration swap, instead of one per task), an
-// oversized arrival is rejected with the slot arithmetic spelled out,
-// and a RemoveBatch reclaims enough slack to retry it. The guarantees
-// of the live system are then verified by simulating it.
+// configuration and drives it through the scenario runtime: a timeline
+// of workload events — a burst admitted as one batch, an oversized
+// arrival rejected with the slot arithmetic spelled out, a removal
+// batch reclaiming slack, the retry landing — is replayed against the
+// live manager, each change taking effect at the next slot-cycle
+// boundary while in-flight jobs carry across the reshapes. The replay
+// is the proof: every admitted task met every deadline released during
+// its residency.
 //
 // Run with: go run ./examples/dynamicworkload
 package main
@@ -48,69 +50,84 @@ func main() {
 	fmt.Printf("deployed max-flexibility design: P = %.3f, slack = %.4f (%.1f%% of bandwidth)\n\n",
 		sol.Config.P, mgr.Slack(), 100*mgr.Slack()/sol.Config.P)
 
-	// A burst of arrivals: admitted as ONE batch — one candidate set,
-	// one reshape per touched mode, one configuration swap. Either the
-	// whole burst fits or nothing changes.
-	burst := []repro.Task{
+	// The workload timeline. Each event fires at a simulated instant;
+	// the manager applies it and the change takes effect at the next
+	// slot-cycle boundary (one reshape per event, mode-switch-safe).
+	burst := repro.TaskSet{
 		{Name: "telemetry", C: 0.4, T: 10, Mode: repro.NF, Channel: 3},
 		{Name: "watchdog", C: 0.3, T: 8, Mode: repro.FS, Channel: 1},
 		{Name: "self-test", C: 0.5, T: 15, Mode: repro.FT, Channel: 0},
 		{Name: "logger", C: 0.6, T: 12, Mode: repro.NF, Channel: 2},
 	}
-	if err := mgr.AdmitBatch(burst); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("admitted a burst of %d arrivals in one reconfiguration:\n", len(burst))
-	for _, tk := range burst {
-		fmt.Printf("  %-10s (%s, C=%.1f, T=%.0f)\n", tk.Name, tk.Mode, tk.C, tk.T)
-	}
-	fmt.Printf("slack now %.4f\n\n", mgr.Slack())
-
 	audit := repro.Task{Name: "audit", C: 1.0, T: 10, Mode: repro.FT, Channel: 0}
-	err = mgr.Admit(audit)
-	switch {
-	case err == nil:
-		fmt.Printf("admit %s: accepted, slack now %.4f\n", audit.Name, mgr.Slack())
-	case errors.Is(err, repro.ErrAdmissionRejected):
-		// The rejection reports the slot the mode asked for next to the
-		// maximum it could take at this period.
-		fmt.Printf("admit %s: %v\n", audit.Name, err)
-	default:
-		log.Fatal(err)
-	}
+	timeline := repro.Scenario{Events: []repro.WorkloadEvent{
+		// t=40: a burst of arrivals as ONE all-or-nothing batch — one
+		// candidate set, one reshape, instead of one per task.
+		{At: repro.FromUnits(40), Kind: repro.EventAdmit, Tasks: burst},
+		// t=120: an oversized FT arrival. It does not fit; the outcome
+		// records the rejection with the slot arithmetic spelled out.
+		{At: repro.FromUnits(120), Kind: repro.EventAdmit, Tasks: repro.TaskSet{audit}},
+		// t=200: release the two heaviest fail-silent tasks in one batch
+		// to make room...
+		{At: repro.FromUnits(200), Kind: repro.EventRemove, Names: []string{"tau8", "tau9"}},
+		// t=240: ...and retry the rejected arrival.
+		{At: repro.FromUnits(240), Kind: repro.EventAdmit, Tasks: repro.TaskSet{audit}},
+	}}
 
-	fmt.Println()
-	fmt.Println("releasing the two heaviest fail-silent tasks (tau8, tau9) in one batch to make room...")
-	if err := mgr.RemoveBatch([]string{"tau8", "tau9"}); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("slack reclaimed: %.4f\n", mgr.Slack())
-	fmt.Println("retrying the rejected arrival...")
-	if err := mgr.Admit(audit); err != nil {
-		fmt.Printf("audit still rejected: %v\n", err)
-	} else {
-		fmt.Printf("audit admitted, slack now %.4f\n", mgr.Slack())
-	}
-
-	// Long-lived managers under churn retain incremental-update state;
-	// consolidation rebuilds it from scratch (bit-identically) to keep
-	// the footprint proportional to the live set.
-	fmt.Printf("\nconsolidated %d channel profiles after the churn\n", mgr.Consolidate())
-
-	// Prove the live system still holds its guarantees: simulate the
-	// current task set on the current configuration.
-	fmt.Println()
-	res, err := repro.Simulate(mgr.Config(), mgr.Tasks(), repro.EDF, repro.SimOptions{
-		Horizon:  repro.FromUnits(480),
-		Parallel: true,
+	res, err := repro.ReplayScenario(mgr, timeline, repro.ScenarioOptions{
+		Options: repro.SimOptions{
+			Horizon:      repro.FromUnits(480),
+			Parallel:     true,
+			CollectTrace: true,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("validation run over 480 time units with %d live tasks: %d releases, %d misses\n",
-		len(mgr.Tasks()), res.TotalReleased(), res.TotalMisses())
-	if res.TotalMisses() != 0 {
+
+	// Narrate the outcomes the manager produced.
+	for _, out := range res.Outcomes {
+		switch {
+		case out.Err == nil && out.Event.Kind == repro.EventAdmit:
+			fmt.Printf("t=%-4s admitted %d task(s) in one reconfiguration, effective t=%s:\n",
+				out.Event.At, len(out.Joined), out.EffectiveAt)
+			for _, tk := range out.Event.Tasks {
+				fmt.Printf("        %-10s (%s, C=%.1f, T=%.0f)\n", tk.Name, tk.Mode, tk.C, tk.T)
+			}
+		case out.Err == nil:
+			fmt.Printf("t=%-4s %s %v effective t=%s\n",
+				out.Event.At, out.Event.Kind, out.Event.Names, out.EffectiveAt)
+		case errors.Is(out.Err, repro.ErrAdmissionRejected):
+			fmt.Printf("t=%-4s rejected: %v\n", out.Event.At, out.Err)
+		default:
+			log.Fatal(out.Err)
+		}
+	}
+	fmt.Printf("\nslack after the churn: %.4f\n", mgr.Slack())
+
+	// Long-lived managers under churn retain incremental-update state;
+	// consolidation rebuilds it from scratch (bit-identically) to keep
+	// the footprint proportional to the live set.
+	fmt.Printf("consolidated %d channel profiles after the churn\n\n", mgr.Consolidate())
+
+	// The replay simulated every epoch: here is the executable proof
+	// that the reconfigurations preserved the guarantees.
+	misses := 0
+	for _, r := range res.Residencies {
+		misses += r.Stats.Missed
+	}
+	fmt.Printf("replay over 480 time units: %d epochs, %d residencies, %d releases, %d misses\n",
+		res.Epochs, len(res.Residencies), res.TotalReleased(), misses)
+	if misses != 0 {
 		log.Fatal("reconfiguration broke a guarantee — this must never happen")
 	}
-	fmt.Println("every reconfiguration preserved every deadline, as Eq. (12)-(14) promise")
+
+	// Zoom the Gantt chart onto the burst's reshape boundary: the '|'
+	// marker is the reconfiguration instant, read against the jobs
+	// running through it.
+	adm := res.Outcomes[0]
+	from := adm.EffectiveAt - repro.FromUnits(2)
+	fmt.Println()
+	fmt.Print(res.Trace.Gantt(from, from+repro.FromUnits(6), 96))
+	fmt.Println("\nevery reconfiguration preserved every deadline, as Eq. (12)-(14) promise")
 }

@@ -116,3 +116,37 @@ func TestChaosDeterministicOps(t *testing.T) {
 		t.Fatalf("op counts differ across same-seed runs: %s vs %s", r1, r2)
 	}
 }
+
+// TestClosedLoop closes the analysis → execution loop: a seeded
+// workload storm replayed through the scenario runtime under fault
+// injection must leave every admitted residency deadline-clean.
+func TestClosedLoop(t *testing.T) {
+	seeds := []int64{1, 42, 1234}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		m, _ := paperManager(t)
+		res, err := RunClosedLoop(m, LoopOptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v (after %s)", seed, err, res)
+		}
+		if res.Accepted == 0 || res.Epochs < 2 || res.Released == 0 {
+			t.Fatalf("seed %d: storm too tame: %s", seed, res)
+		}
+	}
+}
+
+// TestClosedLoopNoFaults: without fault injection even fail-silent
+// residencies must be deadline-clean, so the FS exemption never hides
+// a real scheduling bug.
+func TestClosedLoopNoFaults(t *testing.T) {
+	m, _ := paperManager(t)
+	res, err := RunClosedLoop(m, LoopOptions{Seed: 7, FaultRate: -1})
+	if err != nil {
+		t.Fatalf("%v (after %s)", err, res)
+	}
+	if res.FSLate != 0 {
+		t.Fatalf("fault-free run reported FS lateness: %s", res)
+	}
+}

@@ -1,0 +1,235 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/faults"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+// LoopOptions tune a closed-loop chaos run: a seeded workload storm
+// replayed through the scenario runtime with fault injection, closing
+// the analysis → execution loop that the concurrent storm (Run) leaves
+// open — Run checks the manager's algebra, the closed loop checks that
+// the schedules the manager promises actually execute without misses.
+type LoopOptions struct {
+	// Seed makes the generated timeline and fault schedule reproducible.
+	Seed int64
+	// Events is the number of workload events generated. 0 means 48.
+	Events int
+	// HorizonUnits is the simulated duration in time units. 0 means 360.
+	HorizonUnits float64
+	// FaultRate is the Poisson fault arrival rate per time unit.
+	// 0 means 0.005; negative disables fault injection.
+	FaultRate float64
+	// FaultDurationUnits is each fault's condition duration. 0 means 0.2.
+	FaultDurationUnits float64
+	// Policy ranks tasks for shedding, eviction and readmission.
+	Policy online.Policy
+	// Parallel replays the channels concurrently.
+	Parallel bool
+	// CollectTrace records the replay's trace (bounded by
+	// MaxTraceEvents) in the result's Replay.
+	CollectTrace   bool
+	MaxTraceEvents int
+}
+
+func (o LoopOptions) withDefaults() LoopOptions {
+	if o.Events == 0 {
+		o.Events = 48
+	}
+	if o.HorizonUnits == 0 {
+		o.HorizonUnits = 360
+	}
+	if o.FaultRate == 0 {
+		o.FaultRate = 0.005
+	}
+	if o.FaultRate < 0 {
+		o.FaultRate = 0
+	}
+	if o.FaultDurationUnits == 0 {
+		o.FaultDurationUnits = 0.2
+	}
+	return o
+}
+
+// LoopResult tallies a closed-loop run.
+type LoopResult struct {
+	// Events is the number of workload events replayed; Accepted counts
+	// the ones the manager accepted (in full or partially).
+	Events, Accepted int
+	// Epochs is the number of provisioning epochs the replay produced.
+	Epochs int
+	// Residencies is the number of task tenures checked; Released and
+	// Completed sum their job counts.
+	Residencies, Released, Completed int
+	// Faults is the number of injected faults.
+	Faults int
+	// FSLate counts deadline misses on fail-silent residencies while
+	// faults were injected. Fault-blocking eats FS supply beyond what
+	// the nominal analysis promises — the paper guarantees FS recovery,
+	// not FS nominal deadlines, under faults — so these are reported
+	// but not violations.
+	FSLate int
+	// TransitionLate counts jobs finishing late by less than one
+	// slot-cycle period per reshape that shrank or shifted their
+	// channel's windows while they were in flight — the bounded
+	// mode-change latency the scenario runtime quantifies. Reported,
+	// not a violation: the zero-miss invariant is over steady-state
+	// jobs, the transition bound over jobs a reshape displaced.
+	TransitionLate int
+	// Violations lists residencies that break the headline invariant:
+	// an admitted task missing a deadline released during its tenure.
+	Violations []string
+	// Replay is the full scenario result, for reporting (Gantt, event
+	// outcomes, per-residency stats).
+	Replay *sim.ScenarioResult
+}
+
+// String renders the tallies on one line.
+func (r *LoopResult) String() string {
+	return fmt.Sprintf("events %d (accepted %d) epochs %d residencies %d released %d completed %d faults %d fs-late %d transition-late %d violations %d",
+		r.Events, r.Accepted, r.Epochs, r.Residencies, r.Released, r.Completed, r.Faults, r.FSLate, r.TransitionLate, len(r.Violations))
+}
+
+// RunClosedLoop generates a seeded workload timeline — admissions of
+// small guests, partial admissions with an occasional inadmissible
+// whale, removals, capacity revocations and restores — replays it
+// against the manager through sim.Replay under Poisson fault
+// injection, and asserts the headline invariant: every task the
+// manager admitted meets every deadline released during its residency
+// (fail-silent residencies are exempt while faults fly; see
+// LoopResult.FSLate).
+//
+// An error reports either a replay failure or invariant violations.
+func RunClosedLoop(m *online.Manager, opts LoopOptions) (*LoopResult, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	cfg := m.Config()
+
+	// Generate the timeline. Times walk forward through the middle of
+	// the horizon so every accepted change gets to execute for a while.
+	var (
+		events      []sim.WorkloadEvent
+		pool        []string // guests the generator believes are in the system
+		outstanding float64  // revoked capacity not yet restored
+		next        int
+	)
+	periods := []float64{8, 10, 12, 16}
+	newGuest := func(whale bool) task.Task {
+		name := fmt.Sprintf("cl-g%d", next)
+		next++
+		c := 0.01 + 0.04*rng.Float64()
+		if whale {
+			c = 1.5 + rng.Float64()
+		}
+		md := task.Modes()[rng.Intn(task.NumModes)]
+		return task.Task{
+			Name: name, C: c, T: periods[rng.Intn(len(periods))],
+			Mode: md, Channel: rng.Intn(md.Channels()),
+		}
+	}
+	start, end := 0.05*opts.HorizonUnits, 0.9*opts.HorizonUnits
+	step := (end - start) / float64(opts.Events)
+	at := start
+	for i := 0; i < opts.Events; i++ {
+		ev := sim.WorkloadEvent{At: timeu.FromUnits(at + rng.Float64()*step*0.9)}
+		at += step
+		switch r := rng.Intn(10); {
+		case r < 4: // all-or-nothing admit of 1–2 guests
+			g := newGuest(false)
+			ev.Kind = sim.EventAdmit
+			ev.Tasks = task.Set{g}
+			pool = append(pool, g.Name)
+			if rng.Intn(2) == 0 {
+				g2 := newGuest(false)
+				ev.Tasks = append(ev.Tasks, g2)
+				pool = append(pool, g2.Name)
+			}
+		case r < 6: // partial admit, sometimes with a whale
+			g := newGuest(false)
+			ev.Kind = sim.EventAdmitPartial
+			ev.Tasks = task.Set{g, newGuest(rng.Intn(3) == 0)}
+			pool = append(pool, g.Name)
+		case r < 8 && len(pool) > 0: // remove a guest (may already be gone)
+			ev.Kind = sim.EventRemove
+			i := rng.Intn(len(pool))
+			ev.Names = []string{pool[i]}
+			pool = append(pool[:i], pool[i+1:]...)
+		case r < 9: // revoke a sliver of capacity
+			ev.Kind = sim.EventRevoke
+			ev.Capacity = (0.01 + 0.03*rng.Float64()) * cfg.P
+			outstanding += ev.Capacity
+		default: // restore part of what is outstanding
+			if outstanding == 0 {
+				ev.Kind = sim.EventAdmit
+				g := newGuest(false)
+				ev.Tasks = task.Set{g}
+				pool = append(pool, g.Name)
+				break
+			}
+			ev.Kind = sim.EventRestore
+			ev.Capacity = outstanding * (0.5 + 0.5*rng.Float64())
+			outstanding -= ev.Capacity
+		}
+		events = append(events, ev)
+	}
+
+	simOpts := sim.ScenarioOptions{
+		Options: sim.Options{
+			Horizon:        timeu.FromUnits(opts.HorizonUnits),
+			Parallel:       opts.Parallel,
+			CollectTrace:   opts.CollectTrace,
+			MaxTraceEvents: opts.MaxTraceEvents,
+		},
+		Policy: opts.Policy,
+	}
+	if opts.FaultRate > 0 {
+		simOpts.Injector = faults.Poisson{
+			Rate:     opts.FaultRate,
+			Duration: timeu.FromUnits(opts.FaultDurationUnits),
+			Seed:     opts.Seed + 1,
+		}
+	}
+	r, err := sim.Replay(m, sim.Scenario{Events: events}, simOpts)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: closed-loop replay: %w", err)
+	}
+
+	res := &LoopResult{
+		Events:      len(events),
+		Replay:      r,
+		Epochs:      r.Epochs,
+		Residencies: len(r.Residencies),
+		Faults:      r.TotalFaults,
+		Released:    r.TotalReleased(),
+		Completed:   r.TotalCompleted(),
+	}
+	for _, out := range r.Outcomes {
+		if out.Err == nil {
+			res.Accepted++
+		}
+	}
+	res.TransitionLate = r.TotalTransitionLate()
+	faulty := r.TotalFaults > 0
+	for _, rr := range r.Residencies {
+		if rr.Stats.Missed == 0 {
+			continue
+		}
+		if faulty && rr.Task.Mode == task.FS {
+			res.FSLate += rr.Stats.Missed
+			continue
+		}
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"%s on %s/%d: %d misses in [%s, %s)",
+			rr.Task.Name, rr.Task.Mode, rr.Task.Channel, rr.Stats.Missed, rr.From, rr.To))
+	}
+	if len(res.Violations) > 0 {
+		return res, fmt.Errorf("chaos: closed loop: %d residencies missed deadlines: %v", len(res.Violations), res.Violations)
+	}
+	return res, nil
+}

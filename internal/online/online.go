@@ -81,6 +81,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/task"
+	"repro/internal/timeu"
 	"repro/internal/trace"
 )
 
@@ -140,6 +141,11 @@ type Manager struct {
 	// events is the optional robustness-event sink (atomic so
 	// SetEventSink needs no lock).
 	events atomic.Pointer[func(Event)]
+
+	// now is the simulated clock a scenario driver advances with SetNow;
+	// every emitted Event is stamped with it. Zero for wall-clock
+	// managers that never set it.
+	now atomic.Int64
 }
 
 // degradeState is the immutable snapshot of the degraded-mode state.
@@ -161,6 +167,9 @@ type Event struct {
 	// trace.Degraded, trace.Restored, trace.EnvelopeFallback or
 	// trace.Consolidated.
 	Kind trace.Kind
+	// At is the simulated instant of the transition when a scenario
+	// driver is advancing the manager's clock (SetNow); zero otherwise.
+	At timeu.Ticks
 	// Tasks names the affected tasks (shed, evicted or readmitted), in
 	// policy order.
 	Tasks []string
@@ -304,8 +313,20 @@ func (m *Manager) SetEventSink(fn func(Event)) {
 	m.events.Store(&fn)
 }
 
+// SetNow advances the manager's simulated clock. It is the scenario-
+// driver hook: a replay (internal/sim) sets the workload event's
+// instant before applying it, so every robustness Event the operation
+// emits lands on the simulation timeline. Wall-clock use never needs
+// it.
+func (m *Manager) SetNow(t timeu.Ticks) { m.now.Store(int64(t)) }
+
+// Alg returns the per-channel scheduling algorithm the manager analyses
+// with (fixed at construction).
+func (m *Manager) Alg() analysis.Alg { return m.alg }
+
 func (m *Manager) emit(ev Event) {
 	if fn := m.events.Load(); fn != nil {
+		ev.At = timeu.Ticks(m.now.Load())
 		(*fn)(ev)
 	}
 }

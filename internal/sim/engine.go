@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"container/heap"
 	"fmt"
 
 	"repro/internal/analysis"
@@ -9,130 +10,338 @@ import (
 	"repro/internal/trace"
 )
 
-// engine simulates one channel over [0, horizon): periodic job releases
-// (synchronous pattern, offset 0 — the worst case the analysis assumes),
-// preemptive dispatch of the highest-priority ready job whenever the
-// channel's service intervals allow, fail-silent aborts at block
-// instants, and NF corruption marking.
+// engineTask is one task registered with a channel engine. Registration
+// is append-only: a task that leaves and returns gets a fresh entry (a
+// fresh residency), so indices in live jobs stay valid forever.
+type engineTask struct {
+	name        string
+	period      timeu.Ticks
+	deadline    timeu.Ticks
+	wcet        timeu.Ticks
+	nextRelease timeu.Ticks
+	active      bool
+	res         int // index of the task's residency in the channel stats
+}
+
+// releaseEntry is one pending job release in the release heap.
+type releaseEntry struct {
+	at  timeu.Ticks
+	idx int // engine task index
+}
+
+// releaseHeap is a min-heap of pending releases ordered by time, then
+// by task registration index — exactly the order the linear scan
+// releases equal-time jobs in, so the two paths are bit-identical.
+type releaseHeap []releaseEntry
+
+func (h releaseHeap) Len() int { return len(h) }
+func (h releaseHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].idx < h[j].idx
+}
+func (h releaseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *releaseHeap) Push(x any)        { *h = append(*h, x.(releaseEntry)) }
+func (h *releaseHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h releaseHeap) min() timeu.Ticks   { return h[0].at }
+
+// engine simulates one channel: periodic job releases (synchronous
+// pattern, offset at the task's residency start — the worst case the
+// analysis assumes), preemptive dispatch of the highest-priority ready
+// job whenever the channel's service intervals allow, fail-silent
+// aborts at block instants, and NF corruption marking.
+//
+// The engine is re-provisionable: a scenario replay runs it epoch by
+// epoch (provision, then runUntil the epoch's end), carrying in-flight
+// jobs across each reshape while the service windows, the fault
+// overlays and the task membership change under it. The static
+// simulator is the one-epoch special case.
 type engine struct {
 	id       ChannelID
-	tasks    task.Set
 	alg      analysis.Alg
-	service  []interval
-	blockAt  map[timeu.Ticks]bool
-	corrupt  []interval
 	horizon  timeu.Ticks
 	recovery Recovery
 	log      *trace.Log
 
-	queue       *jobQueue
-	nextRelease []timeu.Ticks
-	periods     []timeu.Ticks
-	deadlines   []timeu.Ticks
-	wcets       []timeu.Ticks
-	seq         uint64
-	stats       *channelResult
-	corruptIdx  int
-	svcIdx      int
+	// linearReleases selects the original O(n)-per-event release scan
+	// instead of the release heap. Kept as the oracle for the heap
+	// path's bit-identity test.
+	linearReleases bool
+
+	queue    *jobQueue
+	releases releaseHeap
+
+	tasks  []engineTask
+	byName map[string]int // live named tasks → engine index
+
+	service    []interval
+	blockAt    map[timeu.Ticks]bool
+	corrupt    []interval
+	svcIdx     int
+	corruptIdx int
+
+	// period is the slot-cycle period; excuses are the instants of
+	// non-covering reshapes (see provision). Both stay zero in a
+	// static run.
+	period  timeu.Ticks
+	excuses []timeu.Ticks
+
+	now   timeu.Ticks
+	seq   uint64
+	stats *channelResult
 }
 
-func (e *engine) run() (*channelResult, error) {
-	e.queue = newJobQueue(e.alg, e.tasks)
-	e.nextRelease = make([]timeu.Ticks, len(e.tasks))
-	e.periods = make([]timeu.Ticks, len(e.tasks))
-	e.deadlines = make([]timeu.Ticks, len(e.tasks))
-	e.wcets = make([]timeu.Ticks, len(e.tasks))
-	for i, t := range e.tasks {
-		e.periods[i] = timeu.FromUnits(t.T)
-		e.deadlines[i] = timeu.FromUnits(t.D)
-		e.wcets[i] = timeu.FromUnitsUp(t.C) // never under-charge work
-		if e.periods[i] <= 0 || e.wcets[i] <= 0 {
-			return nil, fmt.Errorf("sim: task %s has degenerate timing in ticks", t.Name)
-		}
+func newEngine(id ChannelID, alg analysis.Alg, horizon timeu.Ticks, rec Recovery, log *trace.Log) *engine {
+	return &engine{
+		id:       id,
+		alg:      alg,
+		horizon:  horizon,
+		recovery: rec,
+		log:      log,
+		queue:    newJobQueue(alg, nil),
+		byName:   make(map[string]int),
+		stats:    newChannelResult(id, log),
 	}
-	e.stats = newChannelResult(e.id, e.tasks, e.log)
-	for _, iv := range e.service {
+}
+
+// provision starts a new epoch at `from`: installs the epoch's service
+// windows and corruption overlays, retires leaving tasks (cancelling
+// their pending jobs) and registers joining ones (synchronous release
+// at `from`). In-flight jobs of surviving tasks are untouched — they
+// carry across the reshape.
+//
+// perturbed marks a non-covering reshape: the new service windows do
+// not contain the old ones, so the channel transiently supplies less
+// than either epoch's analysis promises (a slot shrink, or the shift
+// every later slot suffers when an earlier one resizes). The displaced
+// backlog is under one slot-cycle period of work — but minimal-slot
+// configurations have zero scheduling margin, so it never drains: jobs
+// from then on can finish late by less than one period per such
+// reshape, indefinitely. provision records the reshape instant and the
+// engine classifies misses within that cumulative bound as
+// TransitionLate rather than Missed. Covering reshapes (pure slot
+// growth) only add supply: carried jobs keep their old-epoch
+// guarantee, so no grace is needed.
+func (e *engine) provision(from timeu.Ticks, svc serviceWindows, corrupt []interval, leaves, joins task.Set, perturbed bool) error {
+	e.now = from
+	e.service, e.blockAt, e.corrupt = svc.intervals, svc.blockStarts, corrupt
+	e.svcIdx, e.corruptIdx = 0, 0
+	for _, iv := range svc.intervals {
 		e.stats.Service += iv.length()
 	}
+	for _, t := range leaves {
+		idx, ok := e.byName[t.Name]
+		if !ok || !e.tasks[idx].active {
+			continue
+		}
+		e.retire(idx, from)
+		delete(e.byName, t.Name)
+	}
+	for _, t := range joins {
+		if err := e.register(t, from); err != nil {
+			return err
+		}
+	}
+	if perturbed {
+		e.excuses = append(e.excuses, from)
+	}
+	return nil
+}
 
-	now := timeu.Ticks(0)
-	for now < e.horizon {
-		e.releaseDue(now)
+// transitionExcused reports whether a job running `late` past its
+// deadline is within the transition-latency bound: at least one
+// non-covering reshape happened before its deadline (so the reshape's
+// residual backlog could delay it), and the lateness is under one
+// slot-cycle period per such reshape.
+func (e *engine) transitionExcused(j *Job, late timeu.Ticks) bool {
+	if e.period <= 0 {
+		return false
+	}
+	n := timeu.Ticks(0)
+	for _, at := range e.excuses {
+		if at < j.Deadline {
+			n++
+		}
+	}
+	return n > 0 && late < e.period*n
+}
+
+// register adds a task at instant `from`, opening a fresh residency.
+func (e *engine) register(t task.Task, from timeu.Ticks) error {
+	period := timeu.FromUnits(t.T)
+	deadline := timeu.FromUnits(t.D)
+	wcet := timeu.FromUnitsUp(t.C) // never under-charge work
+	if period <= 0 || wcet <= 0 {
+		return fmt.Errorf("sim: task %s has degenerate timing in ticks", t.Name)
+	}
+	idx := e.queue.addTask(t)
+	e.tasks = append(e.tasks, engineTask{
+		name:        t.Name,
+		period:      period,
+		deadline:    deadline,
+		wcet:        wcet,
+		nextRelease: from,
+		active:      true,
+		res:         len(e.stats.residencies),
+	})
+	e.stats.residencies = append(e.stats.residencies, Residency{
+		Task: t, From: from, To: e.horizon, Stats: &TaskStats{},
+	})
+	if t.Name != "" {
+		e.byName[t.Name] = idx
+	}
+	if !e.linearReleases && from < e.horizon {
+		heap.Push(&e.releases, releaseEntry{at: from, idx: idx})
+	}
+	return nil
+}
+
+// retire ends a task's residency at instant `at`: no further releases,
+// and its pending jobs are withdrawn. A withdrawn job whose deadline
+// already passed was resident through its whole window without
+// finishing — that is a genuine miss; one whose deadline lies ahead is
+// cancelled (the demand left with the task).
+func (e *engine) retire(idx int, at timeu.Ticks) {
+	et := &e.tasks[idx]
+	et.active = false
+	if !e.linearReleases {
+		for i, ent := range e.releases {
+			if ent.idx == idx {
+				heap.Remove(&e.releases, i)
+				break
+			}
+		}
+	}
+	ts := e.stats.residencies[et.res].Stats
+	for _, j := range e.queue.removeTask(idx) {
+		if j.Deadline <= at {
+			// Final lateness is unknowable — the job leaves unfinished —
+			// but is at least at-Deadline; classify on that lower bound.
+			if e.transitionExcused(j, at-j.Deadline) {
+				ts.TransitionLate++
+				e.log.Add(trace.Event{At: at, Kind: trace.Miss, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1,
+					Detail: "unfinished at departure (transition-late)"})
+				continue
+			}
+			ts.Missed++
+			e.log.Add(trace.Event{At: at, Kind: trace.Miss, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1,
+				Detail: "unfinished at departure"})
+		} else {
+			ts.Cancelled++
+			e.log.Add(trace.Event{At: at, Kind: trace.Cancelled, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1})
+		}
+	}
+	e.stats.residencies[et.res].To = at
+}
+
+// runUntil advances the simulation to instant `to` (≤ horizon).
+func (e *engine) runUntil(to timeu.Ticks) error {
+	for e.now < to {
+		e.releaseDue(e.now)
 		nr := e.nextReleaseTime()
 		job := e.queue.peek()
 		if job == nil {
-			now = minTick(nr, e.horizon)
+			e.now = min(nr, to)
 			continue
 		}
-		sv, ok := e.currentService(now)
+		sv, ok := e.currentService(e.now)
 		if !ok {
 			// No service at `now`: idle until service resumes or a new
 			// release arrives (which cannot start earlier anyway, but
 			// keeps the release bookkeeping exact).
-			next := minTick(nr, e.horizon)
+			next := min(nr, to)
 			if e.svcIdx < len(e.service) {
-				next = minTick(next, e.service[e.svcIdx].From)
+				next = min(next, e.service[e.svcIdx].From)
 			}
-			if next <= now {
-				return nil, fmt.Errorf("sim: time stuck at %s on %s", now, e.id)
+			if next <= e.now {
+				return fmt.Errorf("sim: time stuck at %s on %s", e.now, e.id)
 			}
-			now = next
+			e.now = next
 			continue
 		}
 		// Execute the head job until it finishes, the service window
 		// closes, or a release may preempt.
-		next := minTick(now+job.Remaining, minTick(sv.To, minTick(nr, e.horizon)))
-		if next <= now {
-			return nil, fmt.Errorf("sim: no progress at %s on %s", now, e.id)
+		next := min(e.now+job.Remaining, sv.To, nr, to)
+		if next <= e.now {
+			return fmt.Errorf("sim: no progress at %s on %s", e.now, e.id)
 		}
-		e.markCorruption(job, now, next)
-		job.Remaining -= next - now
-		e.stats.Busy += next - now
-		e.log.AddSegment(trace.Segment{From: now, To: next, Task: job.TaskName, Mode: e.id.Mode, Channel: e.id.Ch})
-		now = next
+		e.markCorruption(job, e.now, next)
+		job.Remaining -= next - e.now
+		e.stats.Busy += next - e.now
+		e.log.AddSegment(trace.Segment{From: e.now, To: next, Task: job.TaskName, Mode: e.id.Mode, Channel: e.id.Ch})
+		e.now = next
 		switch {
 		case job.Remaining == 0:
-			e.complete(job, now)
-		case now == sv.To && e.blockAt[now]:
-			e.abort(job, now)
+			e.complete(job, e.now)
+		case e.now == sv.To && e.blockAt[e.now]:
+			e.abort(job, e.now)
 		}
 	}
-	e.finish()
-	return e.stats, nil
+	return nil
+}
+
+// taskStats returns the stats bucket of the job's current residency.
+func (e *engine) taskStats(idx int) *TaskStats {
+	return e.stats.residencies[e.tasks[idx].res].Stats
 }
 
 // releaseDue pushes every job with release time ≤ now.
 func (e *engine) releaseDue(now timeu.Ticks) {
-	for i := range e.tasks {
-		for e.nextRelease[i] <= now && e.nextRelease[i] < e.horizon {
-			rel := e.nextRelease[i]
-			e.seq++
-			j := &Job{
-				TaskName:  e.tasks[i].Name,
-				TaskIndex: i,
-				Release:   rel,
-				Deadline:  rel + e.deadlines[i],
-				Total:     e.wcets[i],
-				Remaining: e.wcets[i],
-				seq:       e.seq,
+	if e.linearReleases {
+		for i := range e.tasks {
+			if !e.tasks[i].active {
+				continue
 			}
-			e.queue.push(j)
-			e.stats.task(j.TaskName).Released++
-			e.log.Add(trace.Event{At: rel, Kind: trace.Release, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1})
-			e.nextRelease[i] += e.periods[i]
+			for e.tasks[i].nextRelease <= now && e.tasks[i].nextRelease < e.horizon {
+				e.releaseJob(i, e.tasks[i].nextRelease)
+			}
 		}
+		return
+	}
+	for len(e.releases) > 0 && e.releases.min() <= now {
+		ent := heap.Pop(&e.releases).(releaseEntry)
+		e.releaseJob(ent.idx, ent.at)
+	}
+}
+
+// releaseJob creates and enqueues one job of task idx released at rel.
+func (e *engine) releaseJob(idx int, rel timeu.Ticks) {
+	et := &e.tasks[idx]
+	e.seq++
+	j := &Job{
+		TaskName:  et.name,
+		TaskIndex: idx,
+		Release:   rel,
+		Deadline:  rel + et.deadline,
+		Total:     et.wcet,
+		Remaining: et.wcet,
+		seq:       e.seq,
+	}
+	e.queue.push(j)
+	e.taskStats(idx).Released++
+	e.log.Add(trace.Event{At: rel, Kind: trace.Release, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1})
+	et.nextRelease = rel + et.period
+	if !e.linearReleases && et.nextRelease < e.horizon {
+		heap.Push(&e.releases, releaseEntry{at: et.nextRelease, idx: idx})
 	}
 }
 
 // nextReleaseTime returns the earliest pending release, or the horizon.
 func (e *engine) nextReleaseTime() timeu.Ticks {
-	next := e.horizon
-	for i := range e.tasks {
-		if e.nextRelease[i] < next {
-			next = e.nextRelease[i]
+	if e.linearReleases {
+		next := e.horizon
+		for i := range e.tasks {
+			if e.tasks[i].active && e.tasks[i].nextRelease < next {
+				next = e.tasks[i].nextRelease
+			}
 		}
+		return next
 	}
-	return next
+	if len(e.releases) == 0 {
+		return e.horizon
+	}
+	return min(e.releases.min(), e.horizon)
 }
 
 // currentService positions svcIdx at the interval containing or
@@ -165,7 +374,7 @@ func (e *engine) markCorruption(j *Job, from, to timeu.Ticks) {
 		if iv.intersects(from, to) && !j.Corrupted {
 			j.Corrupted = true
 			e.stats.Corruptions++
-			e.log.Add(trace.Event{At: maxTick(iv.From, from), Kind: trace.Corrupted, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1})
+			e.log.Add(trace.Event{At: max(iv.From, from), Kind: trace.Corrupted, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1})
 		}
 	}
 }
@@ -173,7 +382,7 @@ func (e *engine) markCorruption(j *Job, from, to timeu.Ticks) {
 // complete finalises a finished job: response-time stats, deadline check.
 func (e *engine) complete(j *Job, now timeu.Ticks) {
 	e.queue.pop()
-	ts := e.stats.task(j.TaskName)
+	ts := e.taskStats(j.TaskIndex)
 	ts.Completed++
 	resp := now - j.Release
 	ts.SumResponse += resp
@@ -184,9 +393,15 @@ func (e *engine) complete(j *Job, now timeu.Ticks) {
 		ts.Corrupted++
 	}
 	if now > j.Deadline {
-		ts.Missed++
-		e.log.Add(trace.Event{At: now, Kind: trace.Miss, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1,
-			Detail: fmt.Sprintf("late by %s", now-j.Deadline)})
+		if late := now - j.Deadline; e.transitionExcused(j, late) {
+			ts.TransitionLate++
+			e.log.Add(trace.Event{At: now, Kind: trace.Miss, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1,
+				Detail: fmt.Sprintf("transition-late by %s", late)})
+		} else {
+			ts.Missed++
+			e.log.Add(trace.Event{At: now, Kind: trace.Miss, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1,
+				Detail: fmt.Sprintf("late by %s", late)})
+		}
 		return
 	}
 	e.log.Add(trace.Event{At: now, Kind: trace.Complete, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1})
@@ -196,7 +411,7 @@ func (e *engine) complete(j *Job, now timeu.Ticks) {
 // consults the recovery policy.
 func (e *engine) abort(j *Job, now timeu.Ticks) {
 	e.queue.pop()
-	ts := e.stats.task(j.TaskName)
+	ts := e.taskStats(j.TaskIndex)
 	ts.Aborted++
 	e.stats.Silenced++
 	e.log.Add(trace.Event{At: now, Kind: trace.Abort, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1})
@@ -213,14 +428,24 @@ func (e *engine) abort(j *Job, now timeu.Ticks) {
 }
 
 // finish accounts jobs still pending at the horizon: any with a deadline
-// inside the horizon has missed it.
-func (e *engine) finish() {
+// inside the horizon has missed it. The horizon truncates such a job
+// mid-flight, so its final lateness is unknowable; the classification
+// uses the lower bound horizon-Deadline, giving the truncation the
+// benefit of the doubt when reshapes could explain it.
+func (e *engine) finish() *channelResult {
 	for _, j := range e.queue.drain() {
 		if j.Deadline <= e.horizon && j.Remaining > 0 {
-			ts := e.stats.task(j.TaskName)
+			ts := e.taskStats(j.TaskIndex)
+			if e.transitionExcused(j, e.horizon-j.Deadline) {
+				ts.TransitionLate++
+				e.log.Add(trace.Event{At: j.Deadline, Kind: trace.Miss, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1,
+					Detail: "unfinished at horizon (transition-late)"})
+				continue
+			}
 			ts.Missed++
 			e.log.Add(trace.Event{At: j.Deadline, Kind: trace.Miss, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1,
 				Detail: "unfinished at horizon"})
 		}
 	}
+	return e.stats
 }

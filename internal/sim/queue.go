@@ -7,38 +7,61 @@ import (
 	"repro/internal/task"
 )
 
-// jobQueue is a priority heap of ready jobs. Fixed-priority algorithms
-// compare a precomputed static rank; EDF compares absolute deadlines.
-// Ties break on release time, then on an insertion sequence number, so
-// dispatch is fully deterministic.
-type jobQueue struct {
-	alg   analysis.Alg
-	ranks []int // static priority rank per channel task index (FP only)
-	jobs  []*Job
+// queueKey is the per-task priority key for fixed-priority dispatch.
+// Comparing keys directly (with the task's registration index as the
+// final tie-break) yields exactly the order a stable SortedRM/SortedDM
+// pass assigns positional ranks in, but — unlike precomputed ranks — it
+// keeps working when tasks join and leave the channel mid-run.
+type queueKey struct {
+	t, d float64
+	name string
 }
 
-// newJobQueue builds the queue for a channel's task list. For RM and DM
-// the static rank of each task is its position in the priority order.
+// jobQueue is a priority heap of ready jobs. Fixed-priority algorithms
+// compare the static task keys; EDF compares absolute deadlines. Ties
+// break on release time, then on an insertion sequence number, so
+// dispatch is fully deterministic.
+type jobQueue struct {
+	alg  analysis.Alg
+	keys []queueKey // one per registered task index, append-only
+	jobs []*Job
+}
+
+// newJobQueue builds the queue for a channel's initial task list; later
+// arrivals register with addTask.
 func newJobQueue(alg analysis.Alg, tasks task.Set) *jobQueue {
-	q := &jobQueue{alg: alg, ranks: make([]int, len(tasks))}
-	if alg == analysis.EDF {
-		return q
-	}
-	var ordered task.Set
-	switch alg {
-	case analysis.RM:
-		ordered = tasks.SortedRM()
-	case analysis.DM:
-		ordered = tasks.SortedDM()
-	}
-	pos := make(map[string]int, len(ordered))
-	for i, t := range ordered {
-		pos[t.Name] = i
-	}
-	for i, t := range tasks {
-		q.ranks[i] = pos[t.Name]
+	q := &jobQueue{alg: alg, keys: make([]queueKey, 0, len(tasks))}
+	for _, t := range tasks {
+		q.addTask(t)
 	}
 	return q
+}
+
+// addTask registers a task and returns its index. Indices are assigned
+// in registration order and never reused — a task that leaves and
+// returns gets a fresh index.
+func (q *jobQueue) addTask(t task.Task) int {
+	q.keys = append(q.keys, queueKey{t: t.T, d: t.D, name: t.Name})
+	return len(q.keys) - 1
+}
+
+// fpLess orders task keys under RM (period, then deadline) or DM
+// (deadline, then period), with the name as a deterministic tie-break —
+// the same total order task.LessRM/LessDM give SortedRM/SortedDM.
+func fpLess(alg analysis.Alg, a, b queueKey) bool {
+	var p1, s1, p2, s2 float64
+	if alg == analysis.RM {
+		p1, s1, p2, s2 = a.t, a.d, b.t, b.d
+	} else {
+		p1, s1, p2, s2 = a.d, a.t, b.d, b.t
+	}
+	if p1 != p2 {
+		return p1 < p2
+	}
+	if s1 != s2 {
+		return s1 < s2
+	}
+	return a.name < b.name
 }
 
 func (q *jobQueue) higher(a, b *Job) bool {
@@ -46,8 +69,17 @@ func (q *jobQueue) higher(a, b *Job) bool {
 		if a.Deadline != b.Deadline {
 			return a.Deadline < b.Deadline
 		}
-	} else if q.ranks[a.TaskIndex] != q.ranks[b.TaskIndex] {
-		return q.ranks[a.TaskIndex] < q.ranks[b.TaskIndex]
+	} else if a.TaskIndex != b.TaskIndex {
+		ka, kb := q.keys[a.TaskIndex], q.keys[b.TaskIndex]
+		if fpLess(q.alg, ka, kb) {
+			return true
+		}
+		if fpLess(q.alg, kb, ka) {
+			return false
+		}
+		// Identical keys: stable sorting would have ranked them by
+		// original position, i.e. registration order.
+		return a.TaskIndex < b.TaskIndex
 	}
 	if a.Release != b.Release {
 		return a.Release < b.Release
@@ -99,6 +131,22 @@ func (q *jobQueue) peek() *Job {
 		return nil
 	}
 	return q.jobs[0]
+}
+
+// removeTask withdraws every pending job of the given task index and
+// returns them (in no particular order) — the cancellation path when a
+// task leaves the channel at a reshape boundary.
+func (q *jobQueue) removeTask(idx int) []*Job {
+	var victims []*Job
+	for _, j := range q.jobs {
+		if j.TaskIndex == idx {
+			victims = append(victims, j)
+		}
+	}
+	for _, j := range victims {
+		heap.Remove(q, j.heapIndex)
+	}
+	return victims
 }
 
 // drain empties the queue, returning the jobs in priority order.

@@ -1,0 +1,591 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/online"
+	"repro/internal/platform"
+	"repro/internal/task"
+	"repro/internal/timeu"
+	"repro/internal/trace"
+)
+
+// EventKind discriminates the workload events a Scenario can replay
+// against an online.Manager.
+type EventKind int
+
+const (
+	// EventAdmit calls Manager.AdmitBatch: all-or-nothing admission.
+	EventAdmit EventKind = iota
+	// EventAdmitPartial calls Manager.AdmitBatchPartial with the
+	// scenario's Policy: admit what fits, shed the rest.
+	EventAdmitPartial
+	// EventRemove calls Manager.RemoveBatch on the event's Names.
+	EventRemove
+	// EventRevoke calls Manager.Revoke: withdraw Capacity time units
+	// from the period, evicting low-value tasks if the survivors no
+	// longer fit.
+	EventRevoke
+	// EventRestore calls Manager.Restore: hand Capacity time units
+	// back, readmitting parked tasks that fit again.
+	EventRestore
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventAdmit:
+		return "admit"
+	case EventAdmitPartial:
+		return "admit-partial"
+	case EventRemove:
+		return "remove"
+	case EventRevoke:
+		return "revoke"
+	case EventRestore:
+		return "restore"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// WorkloadEvent is one workload change at a simulated instant. The
+// operation runs against the manager immediately (its admission test is
+// instantaneous), but its effect on the executing platform follows the
+// paper's mode-change rule: the new slot layout is installed at the
+// next slot-cycle boundary, and newly admitted tasks release their
+// first jobs one settling period after that (see ScenarioOptions).
+type WorkloadEvent struct {
+	// At is the simulated instant the request arrives, in ticks ≥ 0.
+	At timeu.Ticks
+	// Kind selects the manager operation.
+	Kind EventKind
+	// Tasks is the batch for EventAdmit / EventAdmitPartial.
+	Tasks task.Set
+	// Names is the removal list for EventRemove.
+	Names []string
+	// Capacity is the time-unit amount for EventRevoke / EventRestore.
+	Capacity float64
+}
+
+// Scenario is a timeline of workload events. Replay sorts them by At
+// (stably, so same-instant events keep their listed order).
+type Scenario struct {
+	Events []WorkloadEvent
+}
+
+// ScenarioOptions extends the static simulation options with
+// scenario-specific knobs.
+type ScenarioOptions struct {
+	Options
+	// Policy is the value policy for EventAdmitPartial, EventRevoke and
+	// EventRestore. The zero value treats every task as equally
+	// valuable.
+	Policy online.Policy
+	// SettlePeriods delays a newly admitted task's first release this
+	// many slot-cycle periods past the boundary at which its slots were
+	// grown. Growing a slot shifts later slots within the same period,
+	// so jobs already in flight there can transiently see less supply
+	// than either the old or the new analysis promises; one settling
+	// period lets the cycle re-form before the newcomer adds demand.
+	// Zero means the default of 1; negative means no settling (joins
+	// take effect right at the boundary — useful for tests that want
+	// the sharpest possible transitions).
+	SettlePeriods int
+}
+
+func (o ScenarioOptions) settlePeriods() int {
+	if o.SettlePeriods == 0 {
+		return 1
+	}
+	if o.SettlePeriods < 0 {
+		return 0
+	}
+	return o.SettlePeriods
+}
+
+// EventOutcome records how one workload event went.
+type EventOutcome struct {
+	// Event is the input event (after sorting).
+	Event WorkloadEvent
+	// Err is the manager's verdict; a rejected admission or a failed
+	// removal is a recorded outcome, not a replay failure.
+	Err error
+	// EffectiveAt is when the event's accepted effect reaches the
+	// executing platform: the next slot-cycle boundary for removals,
+	// evictions and capacity changes, plus the settling delay for
+	// admissions. Zero-effect events (rejections) keep the boundary
+	// instant for reference.
+	EffectiveAt timeu.Ticks
+	// Joined and Left name the tasks this event added to / removed from
+	// the live set (including evictions by Revoke and readmissions by
+	// Restore).
+	Joined, Left []string
+}
+
+// ScenarioResult is the outcome of a scenario replay.
+type ScenarioResult struct {
+	Result
+	// Epochs is the number of distinct provisioning epochs the horizon
+	// was split into (1 = no effective reshape).
+	Epochs int
+	// Outcomes records each event's manager verdict and effect, in
+	// replay order.
+	Outcomes []EventOutcome
+	// Residencies lists every task tenure on every channel — the unit
+	// the headline invariant quantifies over: an admitted task must
+	// miss no deadline released within its residency. Sorted by start
+	// time, then mode, channel and name.
+	Residencies []Residency
+}
+
+// memberOp is one scheduled membership change on the executing platform.
+type memberOp struct {
+	at        timeu.Ticks
+	t         task.Task
+	join      bool
+	cancelled bool
+}
+
+// epoch is one provisioning span [from, to) with a fixed slot layout.
+type epoch struct {
+	from, to timeu.Ticks
+	spec     windowSpec
+	joins    task.Set
+	leaves   task.Set
+}
+
+// Replay executes the scenario against the manager and simulates the
+// resulting platform schedule over the horizon.
+//
+// The manager is the admission authority: every event is submitted to
+// it (with the simulated clock set to the event's instant) and its
+// accept/reject verdicts are taken as ground truth. The live-set
+// transitions it publishes are then compiled into epochs — spans with a
+// fixed slot layout and task membership — and each channel's engine is
+// re-provisioned at every epoch boundary, carrying in-flight jobs
+// across the reshape.
+//
+// The manager is left in whatever state the last event produced; pass a
+// dedicated manager if the caller needs to keep its own.
+func Replay(m *online.Manager, sc Scenario, opts ScenarioOptions) (*ScenarioResult, error) {
+	if m == nil {
+		return nil, fmt.Errorf("sim: Replay needs a manager")
+	}
+	alg := m.Alg()
+	cfg0 := m.Config()
+	period := timeu.FromUnits(cfg0.P)
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: manager period %g is degenerate in ticks", cfg0.P)
+	}
+	initial := m.Tasks()
+
+	horizon := opts.Horizon
+	if horizon == 0 {
+		if len(initial) == 0 {
+			return nil, fmt.Errorf("sim: empty initial task set needs an explicit Options.Horizon")
+		}
+		h, err := initial.Hyperperiod(analysis.HyperperiodDenominator)
+		if err != nil {
+			return nil, fmt.Errorf("sim: cannot derive default horizon: %w", err)
+		}
+		horizon = timeu.FromUnits(h)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon %d must be positive", horizon)
+	}
+	settle := period * timeu.Ticks(opts.settlePeriods())
+
+	events := append([]WorkloadEvent(nil), sc.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	for _, ev := range events {
+		if ev.At < 0 {
+			return nil, fmt.Errorf("sim: event %v at negative instant %s", ev.Kind, ev.At)
+		}
+		if ev.Kind < EventAdmit || ev.Kind > EventRestore {
+			return nil, fmt.Errorf("sim: unknown event kind %d", int(ev.Kind))
+		}
+	}
+
+	injector := opts.Injector
+	if injector == nil {
+		injector = faults.None{}
+	}
+	schedule, err := injector.Schedule(horizon)
+	if err != nil {
+		return nil, fmt.Errorf("sim: fault schedule: %w", err)
+	}
+	if err := faults.ValidateSingleFaultOn(schedule, 0, platform.NumCores); err != nil {
+		return nil, fmt.Errorf("sim: fault schedule: %w", err)
+	}
+
+	// nextBoundary is the first slot-cycle boundary at or after t. The
+	// manager's period is immutable, so every boundary is a multiple of
+	// it regardless of how often the slots inside reshape.
+	nextBoundary := func(t timeu.Ticks) timeu.Ticks {
+		return (t + period - 1) / period * period
+	}
+
+	// ---- Phase 1: drive the manager through the timeline. ----
+
+	var sunk []online.Event
+	m.SetEventSink(func(ev online.Event) { sunk = append(sunk, ev) })
+	defer m.SetEventSink(nil)
+
+	// Config is a value type of plain floats, so == compares layouts
+	// exactly and a boundary whose config matches the previous epoch's
+	// (with no membership delta) needs no reshape.
+	type cfgChange struct {
+		at  timeu.Ticks
+		cfg core.Config
+	}
+	var (
+		outcomes []EventOutcome
+		ops      []*memberOp
+		cfgTl    []cfgChange
+		pending  = map[string]*memberOp{} // named joins not yet effective
+	)
+	prev := initial
+	for _, ev := range events {
+		m.SetNow(ev.At)
+		var opErr error
+		switch ev.Kind {
+		case EventAdmit:
+			opErr = m.AdmitBatch(ev.Tasks)
+		case EventAdmitPartial:
+			var rep *online.AdmitReport
+			rep, opErr = m.AdmitBatchPartial(ev.Tasks, opts.Policy)
+			if opErr == nil && rep != nil {
+				opErr = rep.Err()
+			}
+		case EventRemove:
+			opErr = m.RemoveBatch(ev.Names)
+		case EventRevoke:
+			_, opErr = m.Revoke(ev.Capacity, opts.Policy)
+		case EventRestore:
+			_, opErr = m.Restore(ev.Capacity, opts.Policy)
+		}
+		cur := m.Tasks()
+		joined, left := diffByName(prev, cur)
+		prev = cur
+
+		eff := nextBoundary(ev.At)
+		out := EventOutcome{Event: ev, Err: opErr, EffectiveAt: eff}
+		for _, t := range left {
+			out.Left = append(out.Left, t.Name)
+			if p, ok := pending[t.Name]; ok && eff <= p.at {
+				// The task leaves before its delayed first release: the
+				// join never reaches the platform, so neither does the
+				// leave.
+				p.cancelled = true
+				delete(pending, t.Name)
+				continue
+			}
+			delete(pending, t.Name)
+			ops = append(ops, &memberOp{at: eff, t: t})
+		}
+		for _, t := range joined {
+			out.Joined = append(out.Joined, t.Name)
+			op := &memberOp{at: eff + settle, t: t, join: true}
+			ops = append(ops, op)
+			if t.Name != "" {
+				pending[t.Name] = op
+			}
+		}
+		if len(out.Joined) > 0 {
+			out.EffectiveAt = eff + settle
+		}
+		outcomes = append(outcomes, out)
+		// The slot layout itself swaps at the boundary, even for joins:
+		// growing the slots early is safe, adding demand early is not.
+		cfgTl = append(cfgTl, cfgChange{at: eff, cfg: m.Config()})
+	}
+
+	// ---- Compile the timeline into epochs. ----
+
+	type delta struct{ joins, leaves task.Set }
+	deltas := map[timeu.Ticks]*delta{}
+	boundarySet := map[timeu.Ticks]bool{0: true}
+	for _, op := range ops {
+		if op.cancelled || op.at >= horizon {
+			continue
+		}
+		d := deltas[op.at]
+		if d == nil {
+			d = &delta{}
+			deltas[op.at] = d
+		}
+		if op.join {
+			d.joins = append(d.joins, op.t)
+		} else {
+			d.leaves = append(d.leaves, op.t)
+		}
+		boundarySet[op.at] = true
+	}
+	for _, c := range cfgTl {
+		if c.at < horizon {
+			boundarySet[c.at] = true
+		}
+	}
+	boundaries := make([]timeu.Ticks, 0, len(boundarySet))
+	for b := range boundarySet {
+		boundaries = append(boundaries, b)
+	}
+	sort.Slice(boundaries, func(i, j int) bool { return boundaries[i] < boundaries[j] })
+
+	cfgAt := func(b timeu.Ticks) core.Config {
+		cfg := cfg0
+		for _, c := range cfgTl {
+			if c.at <= b {
+				cfg = c.cfg
+			}
+		}
+		return cfg
+	}
+
+	var epochs []epoch
+	lastCfg := cfg0
+	for _, b := range boundaries {
+		cfg := cfgAt(b)
+		d := deltas[b]
+		if b != 0 && cfg == lastCfg && d == nil {
+			continue // nothing changed at this boundary
+		}
+		ep := epoch{from: b, spec: specFromConfig(cfg)}
+		if d != nil {
+			ep.joins, ep.leaves = d.joins, d.leaves
+		}
+		if b == 0 {
+			// The initial residents join at 0 — unless a same-instant
+			// removal already took them out.
+			init := initial
+			if len(ep.leaves) > 0 {
+				gone := map[string]bool{}
+				for _, t := range ep.leaves {
+					gone[t.Name] = true
+				}
+				init = nil
+				for _, t := range initial {
+					if t.Name == "" || !gone[t.Name] {
+						init = append(init, t)
+					}
+				}
+				ep.leaves = nil // they were never resident
+			}
+			ep.joins = append(append(task.Set(nil), init...), ep.joins...)
+		}
+		if len(epochs) > 0 {
+			epochs[len(epochs)-1].to = b
+		}
+		epochs = append(epochs, ep)
+		lastCfg = cfg
+	}
+	epochs[len(epochs)-1].to = horizon
+
+	// ---- Phase 2: execute each channel across the epochs. ----
+
+	present := map[task.Mode]map[int]bool{}
+	note := func(t task.Task) {
+		if present[t.Mode] == nil {
+			present[t.Mode] = map[int]bool{}
+		}
+		present[t.Mode][t.Channel] = true
+	}
+	for _, ep := range epochs {
+		for _, t := range ep.joins {
+			note(t)
+		}
+	}
+	var ids []ChannelID
+	for _, md := range task.Modes() {
+		chs := make([]int, 0, len(present[md]))
+		for ch := range present[md] {
+			chs = append(chs, ch)
+		}
+		sort.Ints(chs)
+		for _, ch := range chs {
+			ids = append(ids, ChannelID{Mode: md, Ch: ch})
+		}
+	}
+
+	runOne := func(id ChannelID) (*channelResult, error) {
+		eng := newEngine(id, alg, horizon, opts.Recovery, opts.newEngineLog())
+		eng.linearReleases = opts.linearReleases
+		eng.period = period
+		for i, ep := range epochs {
+			svc := serviceFor(ep.spec, id, schedule, ep.from, ep.to)
+			corrupt := corruptFor(ep.spec, id, schedule, ep.from, ep.to)
+			leaves := ep.leaves.ByChannel(id.Mode, id.Ch)
+			joins := ep.joins.ByChannel(id.Mode, id.Ch)
+			// A reshape perturbs this channel when the mode's new
+			// windows do not cover the old ones: pure growth keeps every
+			// old-epoch supply instant, shrinks and shifts do not.
+			perturbed := i > 0 && !coversOffsets(epochs[i-1].spec.usable[id.Mode], ep.spec.usable[id.Mode])
+			if err := eng.provision(ep.from, svc, corrupt, leaves, joins, perturbed); err != nil {
+				return nil, err
+			}
+			if err := eng.runUntil(ep.to); err != nil {
+				return nil, err
+			}
+		}
+		return eng.finish(), nil
+	}
+
+	channels, err := runChannels(ids, opts.Parallel, runOne)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Merge, account, and attach the driver's own trace. ----
+
+	res := &ScenarioResult{Result: *newResult(horizon, opts.CollectTrace), Epochs: len(epochs), Outcomes: outcomes}
+	for _, cr := range channels {
+		res.Residencies = append(res.Residencies, cr.residencies...)
+		res.merge(cr)
+	}
+	sort.SliceStable(res.Residencies, func(i, j int) bool {
+		a, b := res.Residencies[i], res.Residencies[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.Task.Mode != b.Task.Mode {
+			return a.Task.Mode < b.Task.Mode
+		}
+		if a.Task.Channel != b.Task.Channel {
+			return a.Task.Channel < b.Task.Channel
+		}
+		return a.Task.Name < b.Task.Name
+	})
+
+	usable := make(map[task.Mode][]interval, task.NumModes)
+	overhead := make(map[task.Mode][]interval, task.NumModes)
+	for _, ep := range epochs {
+		u, o := platformWindows(ep.spec, ep.from, ep.to)
+		for _, md := range task.Modes() {
+			usable[md] = append(usable[md], u[md]...)
+			overhead[md] = append(overhead[md], o[md]...)
+		}
+	}
+	res.accountFaults(schedule, usable)
+	res.accountPlatform(usable, overhead, horizon)
+	res.TotalFaults = len(schedule)
+
+	if res.Trace != nil {
+		for _, ev := range sunk {
+			res.Trace.Add(trace.Event{At: ev.At, Kind: ev.Kind, Mode: ev.Mode, Channel: ev.Channel, Core: -1,
+				Detail: strings.Join(ev.Tasks, ",")})
+		}
+		for _, out := range outcomes {
+			if len(out.Joined) > 0 {
+				res.Trace.Add(trace.Event{At: out.EffectiveAt, Kind: trace.Admitted, Core: -1,
+					Detail: strings.Join(out.Joined, ",")})
+			}
+			if len(out.Left) > 0 {
+				res.Trace.Add(trace.Event{At: nextBoundary(out.Event.At), Kind: trace.Removed, Core: -1,
+					Detail: strings.Join(out.Left, ",")})
+			}
+		}
+		for _, ep := range epochs[1:] {
+			res.Trace.Add(trace.Event{At: ep.from, Kind: trace.Reshape, Core: -1})
+		}
+	}
+	opts.finishTrace(res.Trace)
+	return res, nil
+}
+
+// runChannels executes one engine per channel, sequentially or on
+// goroutines, and returns the results in the canonical channel order.
+func runChannels(ids []ChannelID, parallel bool, runOne func(ChannelID) (*channelResult, error)) ([]*channelResult, error) {
+	results := make([]*channelResult, len(ids))
+	if !parallel {
+		for i, id := range ids {
+			cr, err := runOne(id)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = cr
+		}
+		return results, nil
+	}
+	errs := make([]error, len(ids))
+	done := make(chan int, len(ids))
+	for i := range ids {
+		go func(i int) {
+			results[i], errs[i] = runOne(ids[i])
+			done <- i
+		}(i)
+	}
+	for range ids {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// coversOffsets reports whether every old per-period window is
+// contained in some new window — the condition under which a reshape
+// can only add supply to the channel and carried jobs keep their
+// old-epoch guarantee.
+func coversOffsets(old, new []interval) bool {
+	for _, o := range old {
+		contained := false
+		for _, n := range new {
+			if n.From <= o.From && o.To <= n.To {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			return false
+		}
+	}
+	return true
+}
+
+// diffByName compares two live sets by task name, reporting tasks that
+// joined (present only in cur, or present in both with changed
+// parameters) and left (present only in prev, or changed — a parameter
+// change is a leave plus a join, closing one residency and opening
+// another). Unnamed tasks are permanent residents: the manager cannot
+// remove them, so they never diff.
+func diffByName(prev, cur task.Set) (joined, left task.Set) {
+	pm := map[string]task.Task{}
+	for _, t := range prev {
+		if t.Name != "" {
+			pm[t.Name] = t
+		}
+	}
+	for _, t := range cur {
+		if t.Name == "" {
+			continue
+		}
+		old, ok := pm[t.Name]
+		if ok && old == t {
+			delete(pm, t.Name)
+			continue
+		}
+		if ok {
+			left = append(left, old)
+			delete(pm, t.Name)
+		}
+		joined = append(joined, t)
+	}
+	// Anything still in pm vanished. Map iteration is unordered, so
+	// restore prev's order for determinism.
+	if len(pm) > 0 {
+		for _, t := range prev {
+			if old, ok := pm[t.Name]; ok && t.Name != "" && old == t {
+				left = append(left, t)
+			}
+		}
+	}
+	return joined, left
+}

@@ -1,0 +1,400 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/faults"
+	"repro/internal/online"
+	"repro/internal/region"
+	"repro/internal/task"
+	"repro/internal/timeu"
+	"repro/internal/trace"
+)
+
+// scenarioFixture builds a manager on the paper's task set at the
+// max-flexibility period, plus the matching static inputs.
+func scenarioFixture(t testing.TB) (*online.Manager, core.Config, task.Set) {
+	t.Helper()
+	pr := core.Problem{
+		Tasks: task.PaperTaskSet(),
+		Alg:   analysis.EDF,
+		O:     core.UniformOverheads(task.PaperOverheadTotal),
+	}
+	cp, err := pr.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := design.Solve(pr, design.MaxFlexibility, region.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := cp.ConfigFor(sol.Config.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := online.NewManagerFromCompiled(cp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, cfg, pr.Tasks
+}
+
+// TestZeroEventScenarioMatchesStaticRun is the anchor of the refactor:
+// a scenario with no events must reproduce the static simulator's
+// Result bit for bit — same stats, same accounting, same trace.
+func TestZeroEventScenarioMatchesStaticRun(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		t.Run(fmt.Sprintf("parallel=%v", parallel), func(t *testing.T) {
+			m, cfg, tasks := scenarioFixture(t)
+			opts := Options{
+				Horizon:      timeu.FromUnits(240),
+				Injector:     faults.Poisson{Rate: 0.02, Duration: timeu.FromUnits(0.4), Seed: 7},
+				CollectTrace: true,
+				Parallel:     parallel,
+			}
+			s, err := New(cfg, tasks, analysis.EDF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := s.Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Replay(m, Scenario{}, ScenarioOptions{Options: opts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Epochs != 1 {
+				t.Fatalf("zero-event scenario produced %d epochs, want 1", got.Epochs)
+			}
+			if !reflect.DeepEqual(&got.Result, want) {
+				t.Errorf("scenario result diverges from static run\nstatic:   %s\nscenario: %s",
+					want.Summary(), got.Summary())
+			}
+			if len(got.Residencies) != len(tasks) {
+				t.Errorf("got %d residencies, want %d", len(got.Residencies), len(tasks))
+			}
+		})
+	}
+}
+
+// TestZeroEventDefaultHorizon checks the scenario derives the same
+// default horizon (one hyperperiod) as the static path.
+func TestZeroEventDefaultHorizon(t *testing.T) {
+	m, cfg, tasks := scenarioFixture(t)
+	s, err := New(cfg, tasks, analysis.EDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(m, Scenario{}, ScenarioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got.Result, want) {
+		t.Error("default-horizon scenario diverges from static run")
+	}
+}
+
+// churnScenario is a deterministic storm touching every event kind.
+func churnScenario() Scenario {
+	u := timeu.FromUnits
+	return Scenario{Events: []WorkloadEvent{
+		{At: u(10), Kind: EventAdmit, Tasks: task.Set{
+			{Name: "g1", C: 0.05, T: 8, D: 8, Mode: task.NF, Channel: 0},
+			{Name: "g2", C: 0.05, T: 10, D: 10, Mode: task.NF, Channel: 2},
+		}},
+		{At: u(30), Kind: EventAdmitPartial, Tasks: task.Set{
+			{Name: "g3", C: 0.05, T: 12, D: 12, Mode: task.FS, Channel: 1},
+			{Name: "whale", C: 40, T: 60, D: 60, Mode: task.FT, Channel: 0},
+		}},
+		{At: u(55), Kind: EventRevoke, Capacity: 0.05},
+		{At: u(90), Kind: EventRemove, Names: []string{"g1"}},
+		{At: u(120), Kind: EventRestore, Capacity: 0.05},
+		{At: u(150), Kind: EventRemove, Names: []string{"tau3"}},
+	}}
+}
+
+// TestScenarioReplayDeterministic runs the same scenario twice (and
+// once more in parallel mode) and demands identical results.
+func TestScenarioReplayDeterministic(t *testing.T) {
+	run := func(parallel bool) *ScenarioResult {
+		m, _, _ := scenarioFixture(t)
+		r, err := Replay(m, churnScenario(), ScenarioOptions{Options: Options{
+			Horizon:      timeu.FromUnits(240),
+			Injector:     faults.Poisson{Rate: 0.01, Duration: timeu.FromUnits(0.3), Seed: 11},
+			CollectTrace: true,
+			Parallel:     parallel,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b, c := run(false), run(false), run(true)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same-seed sequential replays diverge")
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Error("parallel replay diverges from sequential")
+	}
+	if a.Epochs < 3 {
+		t.Errorf("churn scenario produced only %d epochs", a.Epochs)
+	}
+}
+
+// TestScenarioAdmissionLifecycle drills one admit/remove pair:
+// boundary-aligned effect instants, settling delay, residency window,
+// and cancellation of pending jobs at departure.
+func TestScenarioAdmissionLifecycle(t *testing.T) {
+	m, cfg, _ := scenarioFixture(t)
+	period := timeu.FromUnits(cfg.P)
+	u := timeu.FromUnits
+	guest := task.Task{Name: "guest", C: 0.05, T: 7, D: 7, Mode: task.NF, Channel: 0}
+	sc := Scenario{Events: []WorkloadEvent{
+		{At: u(13), Kind: EventAdmit, Tasks: task.Set{guest}},
+		{At: u(100), Kind: EventRemove, Names: []string{"guest"}},
+	}}
+	r, err := Replay(m, sc, ScenarioOptions{Options: Options{Horizon: u(240)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Outcomes) != 2 {
+		t.Fatalf("want 2 outcomes, got %d", len(r.Outcomes))
+	}
+	adm, rem := r.Outcomes[0], r.Outcomes[1]
+	if adm.Err != nil {
+		t.Fatalf("admission failed: %v", adm.Err)
+	}
+	// Effect instants sit on slot-cycle boundaries; the admission adds
+	// one settling period on top of its boundary.
+	boundary := (u(13) + period - 1) / period * period
+	if adm.EffectiveAt != boundary+period {
+		t.Errorf("admit effective at %s, want boundary %s + one period", adm.EffectiveAt, boundary)
+	}
+	if rem.EffectiveAt%period != 0 || rem.EffectiveAt < u(100) {
+		t.Errorf("removal effective at %s: not a boundary at/after the request", rem.EffectiveAt)
+	}
+	var res *Residency
+	for i := range r.Residencies {
+		if r.Residencies[i].Task.Name == "guest" {
+			res = &r.Residencies[i]
+		}
+	}
+	if res == nil {
+		t.Fatal("guest has no residency")
+	}
+	if res.From != adm.EffectiveAt || res.To != rem.EffectiveAt {
+		t.Errorf("residency [%s, %s), want [%s, %s)", res.From, res.To, adm.EffectiveAt, rem.EffectiveAt)
+	}
+	if res.Stats.Missed != 0 {
+		t.Errorf("guest missed %d deadlines during residency", res.Stats.Missed)
+	}
+	if res.Stats.Released == 0 {
+		t.Error("guest never released a job")
+	}
+	// 7-unit period inside a residency that ends on a slot-cycle
+	// boundary: the last release usually has its deadline past the
+	// departure, so it is withdrawn as cancelled, not missed.
+	if res.Stats.Cancelled == 0 && res.Stats.Released != res.Stats.Completed {
+		t.Errorf("departure bookkeeping off: %+v", *res.Stats)
+	}
+}
+
+// TestScenarioAdmitThenRemoveBeforeSettle: a task removed before its
+// delayed first release never becomes resident at all.
+func TestScenarioAdmitThenRemoveBeforeSettle(t *testing.T) {
+	m, _, _ := scenarioFixture(t)
+	u := timeu.FromUnits
+	guest := task.Task{Name: "flash", C: 0.05, T: 9, D: 9, Mode: task.NF, Channel: 1}
+	sc := Scenario{Events: []WorkloadEvent{
+		{At: u(10), Kind: EventAdmit, Tasks: task.Set{guest}},
+		{At: u(10.5), Kind: EventRemove, Names: []string{"flash"}},
+	}}
+	r, err := Replay(m, sc, ScenarioOptions{Options: Options{Horizon: u(120)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range r.Residencies {
+		if res.Task.Name == "flash" {
+			t.Fatalf("flash got a residency [%s, %s) despite leaving before settling", res.From, res.To)
+		}
+	}
+	if _, ok := r.Tasks["flash"]; ok {
+		t.Error("flash appears in the task stats")
+	}
+}
+
+// TestScenarioHeadlineInvariant is the in-package version of the
+// closed-loop guarantee: across admissions, removals, capacity churn
+// and fault injection, every admitted residency is deadline-clean.
+func TestScenarioHeadlineInvariant(t *testing.T) {
+	m, _, _ := scenarioFixture(t)
+	r, err := Replay(m, churnScenario(), ScenarioOptions{Options: Options{
+		Horizon:  timeu.FromUnits(480),
+		Injector: faults.Poisson{Rate: 0.005, Duration: timeu.FromUnits(0.2), Seed: 3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range r.Residencies {
+		if res.Task.Mode == task.FS {
+			// Fail-silent channels lose supply while blocked; the paper
+			// guarantees their recovery, not their nominal deadlines,
+			// under faults (cf. TestPaperDesignUnderFaults).
+			continue
+		}
+		if res.Stats.Missed != 0 {
+			t.Errorf("%s on %s/%d: %d misses in residency [%s, %s)",
+				res.Task.Name, res.Task.Mode, res.Task.Channel, res.Stats.Missed, res.From, res.To)
+		}
+	}
+	if r.TotalReleased() == 0 {
+		t.Fatal("scenario released nothing")
+	}
+}
+
+// TestReleaseHeapBitIdentity checks the release min-heap against the
+// original linear-scan release path (kept as the oracle behind
+// Options.linearReleases) on randomized static workloads and on a
+// churning scenario.
+func TestReleaseHeapBitIdentity(t *testing.T) {
+	_, cfg, _ := scenarioFixture(t)
+	rng := rand.New(rand.NewSource(99))
+	algs := []analysis.Alg{analysis.RM, analysis.DM, analysis.EDF}
+	periods := []float64{4, 6, 8, 10, 12, 15, 20, 24}
+	for trial := 0; trial < 8; trial++ {
+		var tasks task.Set
+		n := 3 + rng.Intn(7)
+		for i := 0; i < n; i++ {
+			m := task.Modes()[rng.Intn(task.NumModes)]
+			T := periods[rng.Intn(len(periods))]
+			tasks = append(tasks, task.Task{
+				Name:    fmt.Sprintf("r%d", i),
+				C:       0.05 + rng.Float64()*0.4,
+				T:       T,
+				D:       T,
+				Mode:    m,
+				Channel: rng.Intn(m.Channels()),
+			})
+		}
+		alg := algs[trial%len(algs)]
+		s, err := New(cfg, tasks, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{
+			Horizon:      timeu.FromUnits(180),
+			Injector:     faults.Poisson{Rate: 0.02, Duration: timeu.FromUnits(0.3), Seed: int64(trial)},
+			CollectTrace: true,
+		}
+		heapRes, err := s.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.linearReleases = true
+		linRes, err := s.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(heapRes, linRes) {
+			t.Fatalf("trial %d (%v): heap releases diverge from linear scan\nheap:   %s\nlinear: %s",
+				trial, alg, heapRes.Summary(), linRes.Summary())
+		}
+	}
+
+	// Same check across reshapes: a churning scenario exercises release
+	// entries created and withdrawn mid-run.
+	run := func(linear bool) *ScenarioResult {
+		m, _, _ := scenarioFixture(t)
+		opts := ScenarioOptions{Options: Options{
+			Horizon:      timeu.FromUnits(240),
+			CollectTrace: true,
+		}}
+		opts.linearReleases = linear
+		r, err := Replay(m, churnScenario(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if a, b := run(false), run(true); !reflect.DeepEqual(a, b) {
+		t.Fatal("scenario heap releases diverge from linear scan")
+	}
+}
+
+// TestScenarioMaxTraceEvents bounds the trace and reports truncation.
+func TestScenarioMaxTraceEvents(t *testing.T) {
+	m, _, _ := scenarioFixture(t)
+	r, err := Replay(m, churnScenario(), ScenarioOptions{Options: Options{
+		Horizon:        timeu.FromUnits(240),
+		CollectTrace:   true,
+		MaxTraceEvents: 50,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trace.Events) > 50 || len(r.Trace.Segments) > 50 {
+		t.Fatalf("trace exceeds cap: %d events, %d segments", len(r.Trace.Events), len(r.Trace.Segments))
+	}
+	if !r.Trace.Truncated() {
+		t.Error("a 240-unit churn run under a 50-event cap should truncate")
+	}
+	// The retained prefix is the earliest slice of the run.
+	for i := 1; i < len(r.Trace.Events); i++ {
+		if r.Trace.Events[i].At < r.Trace.Events[i-1].At {
+			t.Fatal("truncated trace is not time-ordered")
+		}
+	}
+	full, err := Replay(scenarioFixtureManager(t), churnScenario(), ScenarioOptions{Options: Options{
+		Horizon:      timeu.FromUnits(240),
+		CollectTrace: true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Trace.Truncated() {
+		t.Error("uncapped run reports truncation")
+	}
+	if len(full.Trace.Events) != len(r.Trace.Events)+r.Trace.DroppedEvents {
+		t.Errorf("event conservation: full %d != kept %d + dropped %d",
+			len(full.Trace.Events), len(r.Trace.Events), r.Trace.DroppedEvents)
+	}
+}
+
+func scenarioFixtureManager(t testing.TB) *online.Manager {
+	m, _, _ := scenarioFixture(t)
+	return m
+}
+
+// TestScenarioReshapeInGantt: the driver trace records reshapes and the
+// Gantt chart marks them.
+func TestScenarioReshapeInGantt(t *testing.T) {
+	m, _, _ := scenarioFixture(t)
+	r, err := Replay(m, churnScenario(), ScenarioOptions{Options: Options{
+		Horizon:      timeu.FromUnits(240),
+		CollectTrace: true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Trace.Count(trace.Reshape); n != r.Epochs-1 {
+		t.Errorf("trace has %d reshape events, want %d (epochs-1)", n, r.Epochs-1)
+	}
+	if r.Trace.Count(trace.Admitted) == 0 {
+		t.Error("no admission events in the driver trace")
+	}
+	g := r.Trace.Gantt(0, timeu.FromUnits(240), 80)
+	if g == "" {
+		t.Fatal("empty gantt")
+	}
+}

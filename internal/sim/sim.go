@@ -1,13 +1,22 @@
-// Package sim executes a designed configuration on a model of the
+// Package sim executes platform configurations on a model of the
 // paper's 4-core lock-step platform: a discrete-event simulation of the
 // slot cycle (mode switches with overheads, Figure 2), per-channel
 // preemptive RM/DM/EDF scheduling, and transient-fault injection with
 // the checker semantics of internal/platform (FT masks, FS silences,
 // NF corrupts).
 //
-// The simulator is the executable validation of the analysis: a
-// configuration that internal/core proves feasible must complete every
-// job by its deadline here, under any single-transient-fault schedule.
+// Two entry points share one engine:
+//
+//   - Simulator.Run executes a static configuration over a horizon —
+//     the executable validation of a single design: a configuration
+//     that internal/core proves feasible must complete every job by its
+//     deadline here, under any single-transient-fault schedule.
+//
+//   - Replay executes a Scenario — a timeline of workload events
+//     (admissions, removals, capacity revocations and restores) applied
+//     to a live online.Manager — and validates the executable analogue
+//     of the admission guarantees: every task the manager admits meets
+//     every deadline released during its residency, across reshapes.
 //
 // Time is integer ticks (internal/timeu) so runs are exact and
 // reproducible. Window boundaries derived from the float64 analysis are
@@ -37,7 +46,7 @@ import (
 // Job is one activation of a task inside the simulator.
 type Job struct {
 	TaskName  string
-	TaskIndex int // index in the channel's task list
+	TaskIndex int // index in the channel's task registry
 	Release   timeu.Ticks
 	Deadline  timeu.Ticks // absolute
 	Total     timeu.Ticks // worst-case computation time
@@ -69,8 +78,42 @@ type Options struct {
 	Recovery Recovery
 	// CollectTrace records events and execution segments in the result.
 	CollectTrace bool
+	// MaxTraceEvents bounds the retained trace when CollectTrace is set:
+	// at most this many events and this many segments are kept (the
+	// earliest ones), and the result's Trace reports the truncation in
+	// DroppedEvents/DroppedSegments. Zero keeps everything — a
+	// million-tick run then retains a log proportional to its length.
+	MaxTraceEvents int
 	// Parallel simulates the channels on separate goroutines.
 	Parallel bool
+
+	// linearReleases forces the engine's O(n)-scan release path instead
+	// of the release heap; white-box tests use it as the bit-identity
+	// oracle for the heap.
+	linearReleases bool
+}
+
+// newEngineLog returns the per-engine trace log for these options.
+func (o Options) newEngineLog() *trace.Log {
+	if !o.CollectTrace {
+		return nil
+	}
+	l := &trace.Log{}
+	if o.MaxTraceEvents > 0 {
+		l.MaxEvents, l.MaxSegments = o.MaxTraceEvents, o.MaxTraceEvents
+	}
+	return l
+}
+
+// finishTrace sorts the merged trace and enforces the global bound.
+func (o Options) finishTrace(l *trace.Log) {
+	if l == nil {
+		return
+	}
+	l.Sort()
+	if o.MaxTraceEvents > 0 {
+		l.Truncate(o.MaxTraceEvents, o.MaxTraceEvents)
+	}
 }
 
 // Simulator binds a platform time structure to a task set and an
@@ -233,36 +276,29 @@ func (s *Simulator) Run(opts Options) (*Result, error) {
 	for _, cr := range results {
 		res.merge(cr)
 	}
-	res.accountFaults(s, schedule, horizon)
-	res.accountPlatform(s, horizon)
+	usable, overhead := platformWindows(s.spec, 0, horizon)
+	res.accountFaults(schedule, usable)
+	res.accountPlatform(usable, overhead, horizon)
 	res.TotalFaults = len(schedule)
-	if res.Trace != nil {
-		res.Trace.Sort()
-	}
+	opts.finishTrace(res.Trace)
 	return res, nil
 }
 
-// runChannel simulates one channel end to end.
+// runChannel simulates one channel end to end: a single epoch spanning
+// the whole horizon.
 func (s *Simulator) runChannel(id ChannelID, tasks task.Set, schedule []faults.Fault, horizon timeu.Ticks, opts Options) (*channelResult, error) {
-	svc, err := s.serviceIntervals(id, schedule, horizon)
-	if err != nil {
+	svc := serviceFor(s.spec, id, schedule, 0, horizon)
+	corrupt := corruptFor(s.spec, id, schedule, 0, horizon)
+	eng := newEngine(id, s.alg, horizon, opts.Recovery, opts.newEngineLog())
+	eng.linearReleases = opts.linearReleases
+	eng.period = s.spec.period
+	if err := eng.provision(0, svc, corrupt, nil, tasks, false); err != nil {
 		return nil, err
 	}
-	corrupt := s.faultOverlaps(id, schedule, horizon)
-	eng := &engine{
-		id:       id,
-		tasks:    tasks,
-		alg:      s.alg,
-		service:  svc.intervals,
-		blockAt:  svc.blockStarts,
-		corrupt:  corrupt,
-		horizon:  horizon,
-		recovery: opts.Recovery,
+	if err := eng.runUntil(horizon); err != nil {
+		return nil, err
 	}
-	if opts.CollectTrace {
-		eng.log = &trace.Log{}
-	}
-	return eng.run()
+	return eng.finish(), nil
 }
 
 // ChannelID names one execution channel of one mode.

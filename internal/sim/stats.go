@@ -17,16 +17,31 @@ type TaskStats struct {
 	Released  int
 	Completed int
 	// Missed counts jobs finishing after their deadline plus jobs still
-	// unfinished at the horizon whose deadline lies inside it.
+	// unfinished — at the horizon or at the task's departure — whose
+	// deadline lies inside the judged window.
 	Missed int
 	// Aborted counts jobs killed by fail-silent channel shutdowns.
 	Aborted int
 	// Recovered counts aborted jobs re-issued by the recovery policy.
 	Recovered int
 	// Corrupted counts completed jobs that executed through an NF fault.
-	Corrupted   int
-	MaxResponse timeu.Ticks
-	SumResponse timeu.Ticks
+	Corrupted int
+	// Cancelled counts pending jobs withdrawn because the task left the
+	// live set (removal or eviction) with their deadlines still ahead;
+	// they are excused, not missed — the demand departed with the task.
+	Cancelled int
+	// TransitionLate counts jobs late by less than one slot-cycle
+	// period per non-covering reshape preceding their deadline — the
+	// bounded mode-change latency a slot shrink or shift imposes. The
+	// displaced backlog is under one period of work per reshape, and
+	// because minimal-slot configurations have zero scheduling margin
+	// it persists rather than draining, so the bound is cumulative and
+	// open-ended. Reported apart from Missed: the steady-state
+	// guarantee is zero misses, the transition guarantee is bounded
+	// lateness.
+	TransitionLate int
+	MaxResponse    timeu.Ticks
+	SumResponse    timeu.Ticks
 }
 
 // AvgResponse returns the mean response time of completed jobs.
@@ -35,6 +50,33 @@ func (ts TaskStats) AvgResponse() timeu.Ticks {
 		return 0
 	}
 	return ts.SumResponse / timeu.Ticks(ts.Completed)
+}
+
+// add folds src into ts (merging residencies of the same task name).
+func (ts *TaskStats) add(src *TaskStats) {
+	ts.Released += src.Released
+	ts.Completed += src.Completed
+	ts.Missed += src.Missed
+	ts.Aborted += src.Aborted
+	ts.Recovered += src.Recovered
+	ts.Corrupted += src.Corrupted
+	ts.Cancelled += src.Cancelled
+	ts.TransitionLate += src.TransitionLate
+	ts.SumResponse += src.SumResponse
+	if src.MaxResponse > ts.MaxResponse {
+		ts.MaxResponse = src.MaxResponse
+	}
+}
+
+// Residency is one task's tenure on a channel: from its (re)admission
+// to its departure or the horizon, with the stats its jobs accumulated
+// in that window. A static run has exactly one residency per task over
+// [0, horizon); a scenario can give the same task several, one per
+// admission.
+type Residency struct {
+	Task     task.Task
+	From, To timeu.Ticks
+	Stats    *TaskStats
 }
 
 // ChannelStats aggregates one channel's execution accounting.
@@ -52,32 +94,20 @@ type ChannelStats struct {
 // channelResult is the per-channel piece produced by the engine.
 type channelResult struct {
 	ChannelStats
-	id    ChannelID
-	tasks map[string]*TaskStats
-	log   *trace.Log
+	id          ChannelID
+	residencies []Residency
+	log         *trace.Log
 }
 
-func newChannelResult(id ChannelID, ts task.Set, log *trace.Log) *channelResult {
-	cr := &channelResult{id: id, tasks: make(map[string]*TaskStats, len(ts)), log: log}
-	for _, t := range ts {
-		cr.tasks[t.Name] = &TaskStats{}
-	}
-	return cr
-}
-
-func (cr *channelResult) task(name string) *TaskStats {
-	ts := cr.tasks[name]
-	if ts == nil {
-		ts = &TaskStats{}
-		cr.tasks[name] = ts
-	}
-	return ts
+func newChannelResult(id ChannelID, log *trace.Log) *channelResult {
+	return &channelResult{id: id, log: log}
 }
 
 // Result is the aggregated outcome of a simulation run.
 type Result struct {
 	Horizon timeu.Ticks
-	// Tasks maps task name to its statistics.
+	// Tasks maps task name to its statistics (summed over the task's
+	// residencies in a scenario run).
 	Tasks map[string]*TaskStats
 	// Channels maps each populated channel to its accounting.
 	Channels map[ChannelID]*ChannelStats
@@ -101,24 +131,27 @@ type Result struct {
 	// SlackTime is the horizon minus windows and overheads: the
 	// unallocated region of each period (plus partial-period remainder).
 	SlackTime timeu.Ticks
-	// Trace is non-nil when Options.CollectTrace was set.
+	// Trace is non-nil when Options.CollectTrace was set. With
+	// Options.MaxTraceEvents > 0 it is bounded: the earliest events and
+	// segments are retained and Trace.DroppedEvents/DroppedSegments
+	// count the truncation.
 	Trace *trace.Log
 }
 
-// accountPlatform fills the platform-time ledger: per-mode usable
-// windows, overhead time, and the residual slack. The three always sum
-// to the horizon.
-func (r *Result) accountPlatform(s *Simulator, horizon timeu.Ticks) {
+// accountPlatform fills the platform-time ledger from explicit per-mode
+// usable and overhead windows: per-mode usable service, overhead time,
+// and the residual slack. The three always sum to the horizon.
+func (r *Result) accountPlatform(usable, overhead map[task.Mode][]interval, horizon timeu.Ticks) {
 	r.ModeService = make(map[task.Mode]timeu.Ticks, task.NumModes)
 	var used timeu.Ticks
 	for _, m := range task.Modes() {
 		var svc timeu.Ticks
-		for _, iv := range s.modeWindows(m, horizon) {
+		for _, iv := range usable[m] {
 			svc += iv.length()
 		}
 		r.ModeService[m] = svc
 		used += svc
-		for _, iv := range s.overheadWindows(m, horizon) {
+		for _, iv := range overhead[m] {
 			r.OverheadTime += iv.length()
 		}
 	}
@@ -142,40 +175,44 @@ func (r *Result) merge(cr *channelResult) {
 	r.Channels[cr.id] = &cs
 	r.Silenced += cr.Silenced
 	r.Corruptions += cr.Corruptions
-	for name, ts := range cr.tasks {
-		r.Tasks[name] = ts
+	for _, res := range cr.residencies {
+		dst := r.Tasks[res.Task.Name]
+		if dst == nil {
+			dst = &TaskStats{}
+			r.Tasks[res.Task.Name] = dst
+		}
+		dst.add(res.Stats)
 	}
 	if r.Trace != nil && cr.log != nil {
 		r.Trace.Events = append(r.Trace.Events, cr.log.Events...)
 		r.Trace.Segments = append(r.Trace.Segments, cr.log.Segments...)
+		r.Trace.DroppedEvents += cr.log.DroppedEvents
+		r.Trace.DroppedSegments += cr.log.DroppedSegments
 	}
 }
 
-// accountFaults classifies each fault by the service windows its
+// accountFaults classifies each fault by the usable windows its
 // condition overlapped. A long fault can overlap several modes and then
 // counts in each category it reaches; a fault that touches no service
 // window at all is harmless.
-func (r *Result) accountFaults(s *Simulator, schedule []faults.Fault, horizon timeu.Ticks) {
-	ftWindows := s.modeWindows(task.FT, horizon)
-	fsWindows := s.modeWindows(task.FS, horizon)
-	nfWindows := s.modeWindows(task.NF, horizon)
+func (r *Result) accountFaults(schedule []faults.Fault, usable map[task.Mode][]interval) {
 	for _, f := range schedule {
 		touched := false
-		if overlapsAny(f, ftWindows) {
+		if overlapsAny(f, usable[task.FT]) {
 			r.Masked++
 			touched = true
 			if r.Trace != nil {
 				r.Trace.Add(trace.Event{At: f.At, Kind: trace.Masked, Mode: task.FT, Core: f.Core})
 			}
 		}
-		if overlapsAny(f, fsWindows) {
+		if overlapsAny(f, usable[task.FS]) {
 			touched = true
 			if r.Trace != nil {
 				ch, _ := platform.CoreChannel(task.FS, f.Core)
 				r.Trace.Add(trace.Event{At: f.At, Kind: trace.Silenced, Mode: task.FS, Channel: ch, Core: f.Core})
 			}
 		}
-		if overlapsAny(f, nfWindows) {
+		if overlapsAny(f, usable[task.NF]) {
 			touched = true
 		}
 		if !touched {
@@ -224,6 +261,24 @@ func (r *Result) TotalCompleted() int {
 	return n
 }
 
+// TotalCancelled sums withdrawn-at-departure jobs over all tasks.
+func (r *Result) TotalCancelled() int {
+	n := 0
+	for _, ts := range r.Tasks {
+		n += ts.Cancelled
+	}
+	return n
+}
+
+// TotalTransitionLate sums reshape-excused late jobs over all tasks.
+func (r *Result) TotalTransitionLate() int {
+	n := 0
+	for _, ts := range r.Tasks {
+		n += ts.TransitionLate
+	}
+	return n
+}
+
 // Summary renders a human-readable digest: one line per task plus the
 // fault tallies, suitable for CLI output.
 func (r *Result) Summary() string {
@@ -241,5 +296,14 @@ func (r *Result) Summary() string {
 	}
 	fmt.Fprintf(&b, "faults %d: masked %d, silenced-kills %d, corruptions %d, harmless %d\n",
 		r.TotalFaults, r.Masked, r.Silenced, r.Corruptions, r.HarmlessFaults)
+	if n := r.TotalCancelled(); n > 0 {
+		fmt.Fprintf(&b, "cancelled at departure: %d jobs (deadlines ahead — excused)\n", n)
+	}
+	if n := r.TotalTransitionLate(); n > 0 {
+		fmt.Fprintf(&b, "transition-late: %d jobs (bounded mode-change latency across reshapes)\n", n)
+	}
+	if r.Trace.Truncated() {
+		fmt.Fprintf(&b, "trace truncated: %d events, %d segments dropped\n", r.Trace.DroppedEvents, r.Trace.DroppedSegments)
+	}
 	return b.String()
 }

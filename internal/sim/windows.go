@@ -8,7 +8,7 @@ import (
 	"repro/internal/timeu"
 )
 
-// serviceWindows holds a channel's availability over the horizon.
+// serviceWindows holds a channel's availability over an epoch.
 type serviceWindows struct {
 	// intervals are the times the channel serves tasks, sorted, disjoint.
 	intervals []interval
@@ -61,17 +61,24 @@ func specFromConfig(cfg core.Config) windowSpec {
 // periodTicks returns the slot-cycle period in ticks.
 func (s *Simulator) periodTicks() timeu.Ticks { return s.spec.period }
 
-// repeat materialises periodic per-period offsets over [0, horizon).
-func repeat(offsets []interval, period, horizon timeu.Ticks) []interval {
+// repeatRange materialises periodic per-period offsets over [from, to),
+// clipping at both ends. Epoch boundaries sit on period multiples, so
+// windows never straddle them; the general clipping keeps partial first
+// periods correct anyway.
+func repeatRange(offsets []interval, period, from, to timeu.Ticks) []interval {
 	var out []interval
-	for base := timeu.Ticks(0); base < horizon; base += period {
+	base := from - from%period
+	for ; base < to; base += period {
 		for _, w := range offsets {
 			iv := interval{From: base + w.From, To: base + w.To}
-			if iv.From >= horizon {
+			if iv.From >= to {
 				break
 			}
-			if iv.To > horizon {
-				iv.To = horizon
+			if iv.To > to {
+				iv.To = to
+			}
+			if iv.From < from {
+				iv.From = from
 			}
 			if iv.length() > 0 {
 				out = append(out, iv)
@@ -83,19 +90,31 @@ func repeat(offsets []interval, period, horizon timeu.Ticks) []interval {
 
 // modeWindows materialises the usable windows of mode m over [0, horizon).
 func (s *Simulator) modeWindows(m task.Mode, horizon timeu.Ticks) []interval {
-	return repeat(s.spec.usable[m], s.spec.period, horizon)
+	return repeatRange(s.spec.usable[m], s.spec.period, 0, horizon)
 }
 
 // overheadWindows materialises the mode-switch overhead intervals of
 // mode m (the prefix of each of its sub-slots) over the horizon, for
 // platform-time accounting.
 func (s *Simulator) overheadWindows(m task.Mode, horizon timeu.Ticks) []interval {
-	return repeat(s.spec.overhead[m], s.spec.period, horizon)
+	return repeatRange(s.spec.overhead[m], s.spec.period, 0, horizon)
+}
+
+// platformWindows materialises the per-mode usable and overhead windows
+// of spec over [from, to) — the accounting inputs for one epoch.
+func platformWindows(spec windowSpec, from, to timeu.Ticks) (usable, overhead map[task.Mode][]interval) {
+	usable = make(map[task.Mode][]interval, task.NumModes)
+	overhead = make(map[task.Mode][]interval, task.NumModes)
+	for _, m := range task.Modes() {
+		usable[m] = repeatRange(spec.usable[m], spec.period, from, to)
+		overhead[m] = repeatRange(spec.overhead[m], spec.period, from, to)
+	}
+	return usable, overhead
 }
 
 // channelFaults returns the fault intervals that afflict the given
-// channel: faults on one of the channel's cores, clipped to the horizon.
-func channelFaults(id ChannelID, schedule []faults.Fault, horizon timeu.Ticks) []interval {
+// channel: faults on one of the channel's cores, clipped to [from, to).
+func channelFaults(id ChannelID, schedule []faults.Fault, from, to timeu.Ticks) []interval {
 	var out []interval
 	for _, f := range schedule {
 		ch, err := platform.CoreChannel(id.Mode, f.Core)
@@ -103,11 +122,14 @@ func channelFaults(id ChannelID, schedule []faults.Fault, horizon timeu.Ticks) [
 			continue
 		}
 		iv := interval{From: f.At, To: f.End()}
-		if iv.From >= horizon {
+		if iv.From >= to || iv.To <= from {
 			continue
 		}
-		if iv.To > horizon {
-			iv.To = horizon
+		if iv.To > to {
+			iv.To = to
+		}
+		if iv.From < from {
+			iv.From = from
 		}
 		if iv.length() > 0 {
 			out = append(out, iv)
@@ -117,20 +139,20 @@ func channelFaults(id ChannelID, schedule []faults.Fault, horizon timeu.Ticks) [
 	return out
 }
 
-// serviceIntervals computes the channel's service availability: the
-// mode's usable windows, minus — for fail-silent channels — the
-// intervals during which the checker has blocked the channel because one
-// of its cores is faulty. FT channels keep serving through faults
-// (majority vote); NF channels keep serving too, but corruption is
-// tracked separately (faultOverlaps).
-func (s *Simulator) serviceIntervals(id ChannelID, schedule []faults.Fault, horizon timeu.Ticks) (serviceWindows, error) {
-	windows := s.modeWindows(id.Mode, horizon)
+// serviceFor computes the channel's service availability over
+// [from, to): the mode's usable windows, minus — for fail-silent
+// channels — the intervals during which the checker has blocked the
+// channel because one of its cores is faulty. FT channels keep serving
+// through faults (majority vote); NF channels keep serving too, but
+// corruption is tracked separately (corruptFor).
+func serviceFor(spec windowSpec, id ChannelID, schedule []faults.Fault, from, to timeu.Ticks) serviceWindows {
+	windows := repeatRange(spec.usable[id.Mode], spec.period, from, to)
 	sw := serviceWindows{blockStarts: map[timeu.Ticks]bool{}}
 	if id.Mode != task.FS {
 		sw.intervals = windows
-		return sw, nil
+		return sw
 	}
-	blocks := channelFaults(id, schedule, horizon)
+	blocks := channelFaults(id, schedule, from, to)
 	for _, w := range windows {
 		cur := w
 		for _, b := range blocks {
@@ -147,48 +169,35 @@ func (s *Simulator) serviceIntervals(id ChannelID, schedule []faults.Fault, hori
 				cur = interval{From: cur.To, To: cur.To} // window fully consumed
 				break
 			}
-			cur = interval{From: maxTick(b.To, cur.From), To: cur.To}
+			cur = interval{From: max(b.To, cur.From), To: cur.To}
 		}
 		if cur.length() > 0 {
 			sw.intervals = append(sw.intervals, cur)
 		}
 	}
 	sortIntervals(sw.intervals)
-	return sw, nil
+	return sw
 }
 
-// faultOverlaps returns, for NF channels, the intervals during which
-// execution on the channel is corrupted: the intersection of the
-// channel's fault intervals with its service windows. Other modes
-// return nil (FT masks, FS blocks instead of corrupting).
-func (s *Simulator) faultOverlaps(id ChannelID, schedule []faults.Fault, horizon timeu.Ticks) []interval {
+// corruptFor returns, for NF channels, the intervals during which
+// execution on the channel is corrupted over [from, to): the
+// intersection of the channel's fault intervals with its service
+// windows. Other modes return nil (FT masks, FS blocks instead of
+// corrupting).
+func corruptFor(spec windowSpec, id ChannelID, schedule []faults.Fault, from, to timeu.Ticks) []interval {
 	if id.Mode != task.NF {
 		return nil
 	}
-	windows := s.modeWindows(id.Mode, horizon)
+	windows := repeatRange(spec.usable[id.Mode], spec.period, from, to)
 	var out []interval
-	for _, f := range channelFaults(id, schedule, horizon) {
+	for _, f := range channelFaults(id, schedule, from, to) {
 		for _, w := range windows {
-			from, to := maxTick(f.From, w.From), minTick(f.To, w.To)
-			if to > from {
-				out = append(out, interval{From: from, To: to})
+			lo, hi := max(f.From, w.From), min(f.To, w.To)
+			if hi > lo {
+				out = append(out, interval{From: lo, To: hi})
 			}
 		}
 	}
 	sortIntervals(out)
 	return out
-}
-
-func maxTick(a, b timeu.Ticks) timeu.Ticks {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minTick(a, b timeu.Ticks) timeu.Ticks {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,6 +1,10 @@
 // Package trace records what happened during a simulation run: discrete
-// events (releases, completions, faults, …) and continuous execution
-// segments, plus an ASCII Gantt renderer for inspecting small windows.
+// events (releases, completions, faults, admissions, reshapes, …) and
+// continuous execution segments, plus an ASCII Gantt renderer for
+// inspecting small windows. Scenario replays (internal/sim) land
+// admission-side events and execution-side segments in the same
+// time-ordered log, so a reshape can be read in context of the jobs it
+// interrupted.
 package trace
 
 import (
@@ -56,6 +60,18 @@ const (
 	// Consolidated marks a channel whose retained analysis state was
 	// rebuilt from scratch to unpin shared backing memory.
 	Consolidated
+	// Admitted marks tasks entering the live set through a scenario
+	// workload event (replayed against the online manager).
+	Admitted
+	// Removed marks tasks leaving the live set through a scenario
+	// workload event.
+	Removed
+	// Cancelled marks a pending job withdrawn because its task left the
+	// live set at a reshape boundary (deadline still ahead — not a miss).
+	Cancelled
+	// Reshape marks a slot-cycle boundary at which the scenario runtime
+	// swapped the executing configuration or task membership.
+	Reshape
 )
 
 // String names the event kind.
@@ -93,6 +109,14 @@ func (k Kind) String() string {
 		return "envelope-fallback"
 	case Consolidated:
 		return "consolidated"
+	case Admitted:
+		return "admitted"
+	case Removed:
+		return "removed"
+	case Cancelled:
+		return "cancelled"
+	case Reshape:
+		return "reshape"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -119,14 +143,40 @@ type Segment struct {
 // Log accumulates events and segments. The zero value is ready to use;
 // a nil *Log discards everything, so simulation code can trace
 // unconditionally.
+//
+// MaxEvents and MaxSegments, when positive, bound the retained slices:
+// once full, further entries are counted in DroppedEvents /
+// DroppedSegments instead of stored (the earliest entries are the ones
+// kept — extending an existing segment never counts against the cap).
+// Million-tick scenarios can then trace unconditionally without
+// retaining an unbounded log.
 type Log struct {
 	Events   []Event
 	Segments []Segment
+
+	// MaxEvents bounds len(Events); 0 means unbounded.
+	MaxEvents int
+	// MaxSegments bounds len(Segments); 0 means unbounded.
+	MaxSegments int
+	// DroppedEvents counts events discarded because the log was full.
+	DroppedEvents int
+	// DroppedSegments counts segments discarded because the log was full.
+	DroppedSegments int
 }
 
-// Add appends an event. No-op on a nil log.
+// Truncated reports whether the caps discarded anything.
+func (l *Log) Truncated() bool {
+	return l != nil && (l.DroppedEvents > 0 || l.DroppedSegments > 0)
+}
+
+// Add appends an event. No-op on a nil log; counted but discarded on a
+// full one.
 func (l *Log) Add(e Event) {
 	if l == nil {
+		return
+	}
+	if l.MaxEvents > 0 && len(l.Events) >= l.MaxEvents {
+		l.DroppedEvents++
 		return
 	}
 	l.Events = append(l.Events, e)
@@ -134,6 +184,8 @@ func (l *Log) Add(e Event) {
 
 // AddSegment appends an execution segment, merging it with the previous
 // one when contiguous (same task, channel and mode, abutting times).
+// Merges never count against MaxSegments — only genuinely new segments
+// do.
 func (l *Log) AddSegment(s Segment) {
 	if l == nil || s.To <= s.From {
 		return
@@ -145,7 +197,30 @@ func (l *Log) AddSegment(s Segment) {
 			return
 		}
 	}
+	if l.MaxSegments > 0 && len(l.Segments) >= l.MaxSegments {
+		l.DroppedSegments++
+		return
+	}
 	l.Segments = append(l.Segments, s)
+}
+
+// Truncate enforces the caps on an already-populated log — the merge
+// path: per-channel logs are concatenated, sorted, and then bounded so
+// the globally earliest entries are the ones retained. Zero caps leave
+// the log untouched.
+func (l *Log) Truncate(maxEvents, maxSegments int) {
+	if l == nil {
+		return
+	}
+	if maxEvents > 0 && len(l.Events) > maxEvents {
+		l.DroppedEvents += len(l.Events) - maxEvents
+		l.Events = l.Events[:maxEvents]
+	}
+	if maxSegments > 0 && len(l.Segments) > maxSegments {
+		l.DroppedSegments += len(l.Segments) - maxSegments
+		l.Segments = l.Segments[:maxSegments]
+	}
+	l.MaxEvents, l.MaxSegments = maxEvents, maxSegments
 }
 
 // Sort orders events by time (stable on insertion order) and segments by
@@ -178,13 +253,28 @@ func (l *Log) Filter(k Kind) []Event {
 	return out
 }
 
-// Count returns how many events of kind k were recorded.
-func (l *Log) Count(k Kind) int { return len(l.Filter(k)) }
+// Count returns how many events of kind k were recorded, without
+// materialising the filtered slice.
+func (l *Log) Count(k Kind) int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range l.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
 
 // Gantt renders the execution segments overlapping [from, to) as an
 // ASCII chart with the given number of columns: one row per task (sorted
-// by name), '#' where the task runs, '.' where it does not. It is meant
-// for eyeballing a few periods, not for bulk output.
+// by name), '#' where the task runs, '.' where it does not. Reshape
+// events inside the window add a marker row ('|' at each boundary), so a
+// mid-window reconfiguration can be read against the execution it
+// interrupted. It is meant for eyeballing a few periods, not for bulk
+// output.
 func (l *Log) Gantt(from, to timeu.Ticks, cols int) string {
 	if l == nil || to <= from || cols <= 0 {
 		return ""
@@ -208,8 +298,27 @@ func (l *Log) Gantt(from, to timeu.Ticks, cols int) string {
 		}
 	}
 	span := float64(to - from)
+	col := func(t timeu.Ticks) int { return int(float64(t-from) / span * float64(cols)) }
 	var b strings.Builder
 	fmt.Fprintf(&b, "%*s  t=[%s, %s)\n", width, "", from, to)
+	var reshapes []timeu.Ticks
+	for _, e := range l.Events {
+		if e.Kind == Reshape && e.At >= from && e.At < to {
+			reshapes = append(reshapes, e.At)
+		}
+	}
+	if len(reshapes) > 0 {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, at := range reshapes {
+			if c := col(at); c >= 0 && c < cols {
+				row[c] = '|'
+			}
+		}
+		fmt.Fprintf(&b, "%*s  %s\n", width, "", row)
+	}
 	for _, n := range sorted {
 		row := make([]byte, cols)
 		for i := range row {
@@ -219,8 +328,8 @@ func (l *Log) Gantt(from, to timeu.Ticks, cols int) string {
 			if s.Task != n || s.To <= from || s.From >= to {
 				continue
 			}
-			lo := int(float64(max(s.From, from)-from) / span * float64(cols))
-			hi := int(float64(min(s.To, to)-from) / span * float64(cols))
+			lo := col(max(s.From, from))
+			hi := col(min(s.To, to))
 			if hi == lo && hi < cols {
 				hi = lo + 1
 			}
@@ -231,18 +340,4 @@ func (l *Log) Gantt(from, to timeu.Ticks, cols int) string {
 		fmt.Fprintf(&b, "%*s  %s\n", width, n, row)
 	}
 	return b.String()
-}
-
-func max(a, b timeu.Ticks) timeu.Ticks {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b timeu.Ticks) timeu.Ticks {
-	if a < b {
-		return a
-	}
-	return b
 }

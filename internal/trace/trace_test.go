@@ -57,7 +57,9 @@ func TestSegmentMerging(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	kinds := []Kind{Release, Complete, Miss, Abort, FaultStrike, FaultClear, Masked, Silenced, Corrupted}
+	kinds := []Kind{Release, Complete, Miss, Abort, FaultStrike, FaultClear, Masked, Silenced, Corrupted,
+		Shed, Evicted, Readmitted, Degraded, Restored, EnvelopeFallback, Consolidated,
+		Admitted, Removed, Cancelled, Reshape}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()
@@ -117,5 +119,87 @@ func TestSortSegments(t *testing.T) {
 	l.Sort()
 	if l.Segments[0].Task != "a" {
 		t.Error("segments should sort by start time")
+	}
+}
+
+func TestEventCap(t *testing.T) {
+	l := &Log{MaxEvents: 2}
+	for i := 0; i < 5; i++ {
+		l.Add(Event{At: timeu.Ticks(i), Kind: Release})
+	}
+	if len(l.Events) != 2 || l.DroppedEvents != 3 {
+		t.Errorf("cap 2: kept %d dropped %d, want 2/3", len(l.Events), l.DroppedEvents)
+	}
+	if !l.Truncated() {
+		t.Error("log with drops must report Truncated")
+	}
+	var full *Log
+	if full.Truncated() {
+		t.Error("nil log is never truncated")
+	}
+}
+
+func TestSegmentCapMergeExempt(t *testing.T) {
+	l := &Log{MaxSegments: 1}
+	l.AddSegment(Segment{From: 0, To: 5, Task: "a"})
+	// Contiguous extension of the retained segment must not count.
+	l.AddSegment(Segment{From: 5, To: 9, Task: "a"})
+	if len(l.Segments) != 1 || l.Segments[0].To != 9 || l.DroppedSegments != 0 {
+		t.Errorf("merge counted against cap: %+v dropped=%d", l.Segments, l.DroppedSegments)
+	}
+	l.AddSegment(Segment{From: 20, To: 22, Task: "b"})
+	if len(l.Segments) != 1 || l.DroppedSegments != 1 {
+		t.Errorf("new segment past cap should drop: %+v dropped=%d", l.Segments, l.DroppedSegments)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	l := &Log{}
+	for i := 0; i < 6; i++ {
+		l.Add(Event{At: timeu.Ticks(i), Kind: Release})
+		l.AddSegment(Segment{From: timeu.Ticks(10 * i), To: timeu.Ticks(10*i + 5), Task: "a"})
+	}
+	l.Truncate(4, 2)
+	if len(l.Events) != 4 || l.DroppedEvents != 2 {
+		t.Errorf("event truncation wrong: kept %d dropped %d", len(l.Events), l.DroppedEvents)
+	}
+	if len(l.Segments) != 2 || l.DroppedSegments != 4 {
+		t.Errorf("segment truncation wrong: kept %d dropped %d", len(l.Segments), l.DroppedSegments)
+	}
+	if l.Events[3].At != 3 {
+		t.Error("truncation must keep the earliest entries")
+	}
+	// Zero caps leave the log untouched.
+	n := len(l.Events)
+	l.Truncate(0, 0)
+	if len(l.Events) != n {
+		t.Error("zero caps must not truncate")
+	}
+}
+
+func TestGanttReshapeMarker(t *testing.T) {
+	u := func(x float64) timeu.Ticks { return timeu.FromUnits(x) }
+	l := &Log{}
+	l.AddSegment(Segment{From: u(0), To: u(4), Task: "a"})
+	l.Add(Event{At: u(2), Kind: Reshape})
+	g := l.Gantt(0, u(4), 40)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("Gantt with reshape has %d lines, want header + marker + 1 row:\n%s", len(lines), g)
+	}
+	bar := strings.IndexByte(lines[1], '|')
+	if bar < 0 {
+		t.Fatalf("marker row missing '|': %q", lines[1])
+	}
+	// The reshape at t=2 of [0,4) lands mid-row.
+	if bar < 15 || bar > 25 {
+		t.Errorf("reshape marker misplaced at col %d in %q", bar, lines[1])
+	}
+	// A reshape outside the window paints no marker row.
+	l2 := &Log{}
+	l2.AddSegment(Segment{From: u(0), To: u(1), Task: "a"})
+	l2.Add(Event{At: u(9), Kind: Reshape})
+	if strings.Contains(l2.Gantt(0, u(4), 40), "|") {
+		t.Error("out-of-window reshape should not paint a marker")
 	}
 }

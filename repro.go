@@ -311,6 +311,63 @@ func RunChaos(m *OnlineManager, pr Problem, opts ChaosOptions) (*ChaosResult, er
 	return chaos.Run(m, pr, opts)
 }
 
+// Scenario-runtime aliases: a timeline of workload events replayed
+// against a live online manager (sim.Replay), and the closed-loop
+// chaos harness built on it.
+type (
+	// Scenario is a timeline of workload events to replay.
+	Scenario = sim.Scenario
+	// WorkloadEvent is one timed admission, removal, revocation or
+	// restore in a scenario.
+	WorkloadEvent = sim.WorkloadEvent
+	// WorkloadEventKind discriminates workload events.
+	WorkloadEventKind = sim.EventKind
+	// ScenarioOptions configure a scenario replay.
+	ScenarioOptions = sim.ScenarioOptions
+	// ScenarioResult extends SimResult with epochs, event outcomes and
+	// per-residency statistics.
+	ScenarioResult = sim.ScenarioResult
+	// EventOutcome records how the manager handled one workload event.
+	EventOutcome = sim.EventOutcome
+	// Residency is one task's tenure on a channel with its job stats.
+	Residency = sim.Residency
+	// ClosedLoopOptions configure a closed-loop chaos run.
+	ClosedLoopOptions = chaos.LoopOptions
+	// ClosedLoopResult tallies a closed-loop chaos run.
+	ClosedLoopResult = chaos.LoopResult
+)
+
+// Workload event kinds.
+const (
+	// EventAdmit is an all-or-nothing batch admission.
+	EventAdmit = sim.EventAdmit
+	// EventAdmitPartial is a shed-what-does-not-fit batch admission.
+	EventAdmitPartial = sim.EventAdmitPartial
+	// EventRemove removes named tasks.
+	EventRemove = sim.EventRemove
+	// EventRevoke revokes platform capacity (degraded mode).
+	EventRevoke = sim.EventRevoke
+	// EventRestore returns revoked capacity.
+	EventRestore = sim.EventRestore
+)
+
+// ReplayScenario replays a workload-event timeline against a live
+// online manager and simulates the executions it induces, epoch by
+// epoch: admissions and removals take effect at the next slot-cycle
+// boundary, in-flight jobs carry across each reshape, and the result
+// reports per-residency deadline statistics — the executable analogue
+// of the admission guarantee.
+func ReplayScenario(m *OnlineManager, sc Scenario, opts ScenarioOptions) (*ScenarioResult, error) {
+	return sim.Replay(m, sc, opts)
+}
+
+// RunClosedLoopChaos generates a seeded workload storm, replays it
+// through the scenario runtime under fault injection, and asserts that
+// every admitted task met every deadline released during its residency.
+func RunClosedLoopChaos(m *OnlineManager, opts ClosedLoopOptions) (*ClosedLoopResult, error) {
+	return chaos.RunClosedLoop(m, opts)
+}
+
 // SplitSolution is a design whose quanta are delivered as several
 // sub-slots per period (the paper's multi-quantum extension).
 type SplitSolution = design.SplitSolution
