@@ -450,9 +450,13 @@ func churnChannel(b *testing.B, n int) TaskSet {
 
 // BenchmarkAdmitRemoveChurn is the tentpole measurement of the
 // incremental profile layer: one admit+remove cycle on a 20-task
-// channel, patching the compiled profile (WithTask/WithoutTask) versus
-// recompiling the channel from scratch the way reshape used to. The
-// guest's period selects its deadline count within the fixed 120-unit
+// channel, patching the compiled profile versus recompiling the channel
+// from scratch the way reshape used to. The "incremental" cycles run
+// the in-place exclusive patch path (Thawed + AddTasks/DropTasks — what
+// the online manager executes per reconfiguration, steady-state
+// allocation-free); "immutable" keeps the copy-on-write
+// WithTask/WithoutTask clone path that what-if queries use. The guest's
+// period selects its deadline count within the fixed 120-unit
 // hyperperiod (T=60 → 2 points, T=12 → 10, T=5 → 24, all on the
 // channel's own deadline grid): the incremental cycle never rebuilds the
 // per-task demand matrix, so its cost tracks the channel's point stream
@@ -472,6 +476,21 @@ func BenchmarkAdmitRemoveChurn(b *testing.B) {
 		b.Fatal(err)
 	}
 	cycle := func(b *testing.B, pf *analysis.Profile, guest Task) {
+		b.Helper()
+		mu := pf.Thawed()
+		batch := []Task{guest}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := mu.AddTasks(batch); err != nil {
+				b.Fatal(err)
+			}
+			if err := mu.DropTasks(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	immutableCycle := func(b *testing.B, pf *analysis.Profile, guest Task) {
 		b.Helper()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -503,6 +522,10 @@ func BenchmarkAdmitRemoveChurn(b *testing.B) {
 			cycle(b, pf, guest)
 			b.ReportMetric(120/gT, "guestDLs")
 		})
+		b.Run(fmt.Sprintf("immutable/guestT=%g", gT), func(b *testing.B) {
+			immutableCycle(b, pf, guest)
+			b.ReportMetric(120/gT, "guestDLs")
+		})
 		b.Run(fmt.Sprintf("recompile/guestT=%g", gT), func(b *testing.B) {
 			recompileCycle(b, ch, guest)
 			b.ReportMetric(120/gT, "guestDLs")
@@ -510,6 +533,7 @@ func BenchmarkAdmitRemoveChurn(b *testing.B) {
 	}
 	offgrid := Task{Name: "churn-guest", C: 0.05, T: 4, D: 3.7, Mode: FT, Channel: 0}
 	b.Run("incremental/offgridT=4", func(b *testing.B) { cycle(b, pf, offgrid) })
+	b.Run("immutable/offgridT=4", func(b *testing.B) { immutableCycle(b, pf, offgrid) })
 	b.Run("recompile/offgridT=4", func(b *testing.B) { recompileCycle(b, ch, offgrid) })
 	for _, n := range []int{10, 40} {
 		sized := churnChannel(b, n)
@@ -620,6 +644,19 @@ func BenchmarkBatchAdmission(b *testing.B) {
 				b.Fatal(err)
 			}
 			if _, err := grown.WithoutTasks(guests); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("profile/mutable-batch-k=8", func(b *testing.B) {
+		mu := pf.Thawed()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := mu.AddTasks(guests); err != nil {
+				b.Fatal(err)
+			}
+			if err := mu.DropTasks(guests); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -25,6 +25,18 @@
 //
 //	ftsim -scenario [-events 48] [-horizon 360] [-faultrate 0.005]
 //	       [-faultdur 0.2] [-seed 1] [-gantt 0]
+//
+// Scenarios can also be driven from reproducible workload files:
+// -scenariofile replays a scenario JSON file (see sim.ScenarioFile for
+// the format) instead of generating a seeded timeline, and -scenarioout
+// writes the timeline that was replayed — generated or loaded — back
+// out, so a profiling or regression run can be repeated exactly:
+//
+//	ftsim -scenario -scenarioout storm.json
+//	ftsim -scenariofile storm.json
+//
+// -cpuprofile and -memprofile capture pprof profiles of any run mode
+// (written on clean exits).
 package main
 
 import (
@@ -32,6 +44,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro"
 	"repro/internal/analysis"
@@ -64,10 +78,41 @@ func main() {
 		chaosWriters = flag.Int("chaoswriters", 0, "concurrent chaos writers (0 = one per channel)")
 		chaosOps     = flag.Int("chaosops", 0, "operations per chaos writer per round (0 = default 20)")
 
-		scenarioRun = flag.Bool("scenario", false, "replay a seeded workload scenario against the online manager and assert zero misses")
-		events      = flag.Int("events", 0, "scenario workload events (0 = default 48)")
+		scenarioRun  = flag.Bool("scenario", false, "replay a seeded workload scenario against the online manager and assert zero misses")
+		events       = flag.Int("events", 0, "scenario workload events (0 = default 48)")
+		scenarioFile = flag.String("scenariofile", "", "replay this scenario JSON file instead of generating a timeline (implies -scenario)")
+		scenarioOut  = flag.String("scenarioout", "", "write the replayed scenario timeline to this JSON file")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (on clean exit)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file (on clean exit)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	alg, err := analysis.ParseAlg(*algName)
 	if err != nil {
@@ -119,7 +164,7 @@ func main() {
 	fmt.Printf("design: P=%.4f  Q̃=[FT %.4f, FS %.4f, NF %.4f]  slack=%.4f\n\n",
 		cfg.P, cfg.UsableQ(repro.FT), cfg.UsableQ(repro.FS), cfg.UsableQ(repro.NF), cfg.Slack())
 
-	if *chaosRun || *scenarioRun {
+	if *chaosRun || *scenarioRun || *scenarioFile != "" {
 		// The bit-identity oracle re-derives minimal slots, so storm a
 		// manager built from the from-scratch solve at the designed
 		// period rather than from a possibly padded loaded design.
@@ -135,12 +180,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if *scenarioRun {
+		if *scenarioRun || *scenarioFile != "" {
 			rate := *faultRate
 			if rate == 0 {
 				rate = -1 // ftsim's convention: no -faultrate means no faults
 			}
-			res, err := chaos.RunClosedLoop(m, chaos.LoopOptions{
+			loopOpts := chaos.LoopOptions{
 				Seed:               *seed,
 				Events:             *events,
 				HorizonUnits:       *horizon,
@@ -148,12 +193,52 @@ func main() {
 				FaultDurationUnits: *faultDur,
 				Parallel:           true,
 				CollectTrace:       *gantt > 0,
-			})
+			}
+			if *scenarioFile != "" {
+				f, err := os.Open(*scenarioFile)
+				if err != nil {
+					log.Fatal(err)
+				}
+				sf, err := sim.ReadScenario(f)
+				f.Close()
+				if err != nil {
+					log.Fatal(err)
+				}
+				loopOpts.Scenario = &sf.Scenario
+				loopOpts.SettlePeriods = sf.SettlePeriods
+				// The file's horizon applies unless -horizon was given
+				// explicitly on the command line.
+				if sf.HorizonUnits > 0 && !flagWasSet("horizon") {
+					loopOpts.HorizonUnits = sf.HorizonUnits
+				}
+			}
+			res, err := chaos.RunClosedLoop(m, loopOpts)
 			if res != nil {
 				fmt.Printf("scenario: %s\n", res)
 			}
+			if *scenarioOut != "" && res != nil && res.Replay != nil {
+				sf := &sim.ScenarioFile{HorizonUnits: loopOpts.HorizonUnits, SettlePeriods: loopOpts.SettlePeriods}
+				for _, out := range res.Replay.Outcomes {
+					sf.Scenario.Events = append(sf.Scenario.Events, out.Event)
+				}
+				f, ferr := os.Create(*scenarioOut)
+				if ferr == nil {
+					ferr = sf.WriteJSON(f)
+					if cerr := f.Close(); ferr == nil {
+						ferr = cerr
+					}
+				}
+				if ferr != nil {
+					log.Printf("writing scenario file: %v", ferr)
+				} else {
+					fmt.Printf("scenario: timeline written to %s\n", *scenarioOut)
+				}
+			}
 			if err != nil {
 				log.Fatal(err)
+			}
+			if h := &res.Replay.TransitionLateness; h.Count > 0 {
+				fmt.Printf("transition lateness: %s\n", h)
 			}
 			if *gantt > 0 && res.Replay != nil && res.Replay.Trace != nil {
 				fmt.Println()
@@ -211,4 +296,16 @@ func main() {
 	if res.TotalMisses() > 0 {
 		os.Exit(1)
 	}
+}
+
+// flagWasSet reports whether the named flag was given on the command
+// line (as opposed to holding its default).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }

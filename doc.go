@@ -101,6 +101,40 @@
 //     latency — apart from genuine misses;
 //   - internal/report: table and CSV rendering.
 //
+// # Memory model of the hot path
+//
+// The admission and replay loops are allocation-light by construction,
+// and the ownership rules are load-bearing:
+//
+//   - Shared, immutable: compiled profiles and their envelope.Index
+//     snapshots. What-if clones (WithTask/WithTasks and friends) share
+//     untouched columnar slabs copy-on-write; a shared row or slab is
+//     never written in place, so an ancestor snapshot and its patched
+//     descendants can be read concurrently forever.
+//   - Exclusive, single-owner: Profile.Thawed and
+//     CompiledProblem.CompileMutable produce profiles whose
+//     AddTasks/DropTasks patch rows in place inside a private
+//     double-buffered arena, making a steady-state admit+remove cycle
+//     allocation-free. The online manager thaws each touched channel's
+//     profile on first patch; consolidation rebuilds into an
+//     exactly-compact arena so the memory-ratio trigger converges.
+//   - Scratch, per-owner, reused: the manager's touched-channel slice;
+//     the sim engine's epoch buffers (service windows, fault and
+//     corruption overlays), its job records (recycled through a
+//     freelist at each job's terminal event) and its concrete,
+//     non-boxing heaps. Scratch results are valid until the owner's
+//     next cycle or epoch, never across it, and never escape to
+//     readers.
+//
+// The bit-identity contract constrains all of it: every incremental or
+// in-place path must produce float-for-float the result of the
+// from-scratch oracle (envelope.Prune, a fresh Compile, the sim
+// engine's linear-scan release path), so buffers may be reused but
+// operation order and floating-point accumulation order may not
+// change. CI enforces the performance side with cmd/benchgate: the
+// headline benchmarks run against the checked-in BENCH_baseline.json
+// and a >20% ns/op or allocs/op regression fails the build.
+//
 // A typical session: build a Problem, explore the feasible periods,
 // solve for a design goal, and validate the result in simulation:
 //

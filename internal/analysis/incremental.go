@@ -209,16 +209,22 @@ func (pf *Profile) withTasksEDF(add []task.Task) (*Profile, error) {
 		union = points.MergeUnique(union, points.TaskDeadlines(t, pf.horizon))
 	}
 	// The published profile's index is an immutable snapshot: patch a
-	// clone. Merge splices the brand-new scheduling points in as
+	// clone (a deep copy if the receiver is exclusive and will keep
+	// mutating). Merge splices the brand-new scheduling points in as
 	// zero-demand, zero-owner placeholders and reports their positions.
-	idx := pf.idx.Clone()
+	idx := pf.idxSnapshot()
 	inserted := idx.Merge(union)
 	N := idx.Len()
 	if len(inserted) == 0 {
 		// Every newcomer deadline already is a scheduling point: share
-		// all existing prefix rows, append k new rows.
+		// all existing prefix rows, append k new rows. If the receiver
+		// is exclusive its next in-place patch must abandon the shared
+		// arena instead of writing through it.
 		next.pre = make([][]float64, n+k)
 		copy(next.pre, pf.pre)
+		if pf.exclusive {
+			pf.prebShared = true
+		}
 		rows := prefixRows(k, N)
 		for j := range rows {
 			next.pre[n+j] = rows[j]
@@ -343,7 +349,7 @@ func (pf *Profile) withoutTasksEDF(rem []task.Task) (*Profile, error) {
 	// pre-compaction positions. A violated invariant (a deadline not in
 	// the stream — impossible unless the compiled state is corrupted)
 	// degrades to the oracle instead of panicking.
-	idx := pf.idx.Clone()
+	idx := pf.idxSnapshot()
 	for _, t := range rem {
 		if err := idx.RemoveOwners(points.TaskDeadlines(t, pf.horizon)); err != nil {
 			return pf.recompile(surv, true)
@@ -361,6 +367,9 @@ func (pf *Profile) withoutTasksEDF(rem []task.Task) (*Profile, error) {
 	next.pre = make([][]float64, n)
 	if len(dropped) == 0 {
 		copy(next.pre, pf.pre[:keep])
+		if pf.exclusive && keep > 0 {
+			pf.prebShared = true
+		}
 		next.pinned = pf.pinned + (n-keep)*N
 	} else {
 		rows := prefixRows(keep, N)

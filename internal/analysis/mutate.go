@@ -1,0 +1,532 @@
+package analysis
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/envelope"
+	"repro/internal/points"
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+// This file implements the exclusive (mutable) profile mode, the
+// allocation-elimination counterpart of incremental.go. The immutable
+// constructors there are the right shape for what-if probes — many
+// readers share one snapshot — but the online manager's serving loop
+// has exactly one live profile per channel, mutated under that
+// channel's lock, and paying a full clone of the index and row matrix
+// per admission event is pure overhead. An exclusive profile instead
+// owns its state outright and is patched in place:
+//
+//   - the prefix-row matrix lives in one arena (preb) at a uniform
+//     stride, with a spare buffer (prebAlt) that width-changing
+//     relayouts swap with, so steady-state admit+remove cycles reuse
+//     two flat buffers and never allocate;
+//   - the envelope index is mutated directly (no Clone) — the index's
+//     own copy-on-write machinery privatizes anything still shared
+//     with the ancestor the profile was thawed from;
+//   - rejection rollback is the inverse patch: AddTasks followed by
+//     DropTasks of the same tasks restores the profile bit-exactly,
+//     because both directions perform the identical float64 term
+//     accumulation a fresh Compile performs (the same argument that
+//     makes the immutable paths bit-identical to their oracle).
+//
+// Exclusivity is a single-owner contract, not a lock: an exclusive
+// profile must only be reached from one goroutine at a time (the
+// manager guarantees this with its channel locks). The immutable
+// WithTasks/WithoutTasks remain callable on an exclusive profile —
+// they deep-copy the index instead of CoW-cloning it and latch
+// prebShared so the next in-place patch abandons the shared arena —
+// but the hot path never needs them.
+
+// patchScratch holds the per-operation scratch buffers of the mutable
+// patch path. Pooled at package level: profiles are patched under
+// their channel lock, but distinct channels patch concurrently.
+type patchScratch struct {
+	scaled []int64
+	union  []float64
+	dls    []float64
+	tmp    []float64
+	used   []bool
+}
+
+var patchPool = sync.Pool{New: func() any { return new(patchScratch) }}
+
+// Exclusive reports whether the profile is in exclusive (mutable)
+// mode, i.e. it was produced by Thawed or CompileMutable and may be
+// patched in place with AddTasks/DropTasks.
+func (pf *Profile) Exclusive() bool { return pf.exclusive }
+
+// Thawed returns an exclusive deep copy of the profile: same compiled
+// state, but owning its arena and free to be patched in place. The
+// receiver is unchanged and remains valid. The copy must only be used
+// by one goroutine at a time.
+func (pf *Profile) Thawed() *Profile {
+	c := &Profile{
+		alg: pf.alg, horizon: pf.horizon, horizonInt: pf.horizonInt,
+		fallbacks: pf.fallbacks, exclusive: true,
+	}
+	c.tasks = append(make(task.Set, 0, len(pf.tasks)+4), pf.tasks...)
+	if pf.scaled != nil {
+		c.scaled = append(make([]int64, 0, len(pf.scaled)+4), pf.scaled...)
+	}
+	switch {
+	case pf.idx != nil:
+		c.idx = pf.idxSnapshot()
+		n, N := len(pf.pre), pf.idx.Len()
+		c.preb = make([]float64, n*N, n*N+2*N)
+		for r, row := range pf.pre {
+			copy(c.preb[r*N:(r+1)*N], row)
+		}
+		c.setRows(n, N)
+		c.edf = c.idx.Kept()
+		c.pinned = cap(c.preb)
+	case pf.fp != nil:
+		// FP rows are immutable once built; sharing them is safe even
+		// across later in-place patches (those replace row pointers,
+		// never row contents).
+		c.fp = append(make([][]envelope.Pair, 0, len(pf.fp)+4), pf.fp...)
+	}
+	return c
+}
+
+// CompileMutable compiles s and returns the profile already in
+// exclusive mode — the starting point for a lineage that will be
+// patched in place rather than cloned.
+func CompileMutable(s task.Set, alg Alg) (*Profile, error) {
+	pf, err := Compile(s, alg)
+	if err != nil {
+		return nil, err
+	}
+	pf.bless()
+	return pf, nil
+}
+
+// bless converts a freshly compiled, unshared profile to exclusive
+// mode by re-homing its rows into a private arena. It must only be
+// called on a profile nothing else references. The arena is exactly
+// compact — no growth slack — so a consolidation that rebuilds through
+// CompileMutable reports Ratio 1.0 and the ratio trigger converges;
+// the first width-changing patch afterwards re-establishes the
+// double-buffer slack.
+func (pf *Profile) bless() {
+	pf.exclusive = true
+	if pf.idx == nil {
+		return
+	}
+	n, N := len(pf.pre), pf.idx.Len()
+	pf.preb = make([]float64, n*N)
+	for r, row := range pf.pre {
+		copy(pf.preb[r*N:(r+1)*N], row)
+	}
+	pf.setRows(n, N)
+	pf.pinned = cap(pf.preb)
+}
+
+// idxSnapshot is the index snapshot an immutable constructor takes of
+// this profile. Published profiles never mutate again, so the cheap
+// copy-on-write Clone is safe; an exclusive profile keeps mutating in
+// place, which would corrupt a CoW child, so it pays for a deep copy.
+func (pf *Profile) idxSnapshot() *envelope.Index {
+	if pf.exclusive {
+		return pf.idx.DeepClone()
+	}
+	return pf.idx.Clone()
+}
+
+// AddTasks patches the profile in place, adding every task in add in
+// order — after it returns, the profile is bit-identical (retained
+// streams included) to a fresh Compile of the extended set, exactly as
+// WithTasks would produce, but mutating the receiver instead of
+// allocating a sibling. The profile must be exclusive. On error the
+// profile is unchanged, except for internal-invariant bails which
+// rebuild it from scratch (still to the correct extended state).
+func (pf *Profile) AddTasks(add []task.Task) error {
+	if !pf.exclusive {
+		return fmt.Errorf("analysis: AddTasks: profile is not exclusive (use Thawed or CompileMutable)")
+	}
+	for _, t := range add {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("analysis: AddTasks: %w", err)
+		}
+	}
+	if len(add) == 0 {
+		return nil
+	}
+	switch pf.alg {
+	case EDF:
+		return pf.addTasksEDF(add)
+	case RM, DM:
+		return pf.addTasksFP(add)
+	}
+	return fmt.Errorf("analysis: AddTasks: unknown algorithm %s", pf.alg)
+}
+
+// DropTasks patches the profile in place, removing every task in rem
+// (exact field equality; a value listed twice must be present twice).
+// After it returns, the profile is bit-identical to a fresh Compile of
+// the surviving set — in particular, AddTasks followed by DropTasks of
+// the same batch restores the pre-patch state bit for bit, which is
+// what the online manager's rejection rollback relies on. The profile
+// must be exclusive. A not-present error leaves the profile unchanged.
+func (pf *Profile) DropTasks(rem []task.Task) error {
+	if !pf.exclusive {
+		return fmt.Errorf("analysis: DropTasks: profile is not exclusive (use Thawed or CompileMutable)")
+	}
+	if len(rem) == 0 {
+		return nil
+	}
+	switch pf.alg {
+	case EDF:
+		return pf.dropTasksEDF(rem)
+	case RM, DM:
+		return pf.dropTasksFP(rem)
+	}
+	return fmt.Errorf("analysis: DropTasks: unknown algorithm %s", pf.alg)
+}
+
+// setRows rebuilds the pre row headers over the arena: n rows of the
+// given width, full-slice-capped so an append through a header can
+// never clobber the next row.
+func (pf *Profile) setRows(n, width int) {
+	if cap(pf.pre) < n {
+		pf.pre = make([][]float64, 0, n+4)
+	} else {
+		pf.pre = pf.pre[:0]
+	}
+	for r := 0; r < n; r++ {
+		pf.pre = append(pf.pre, pf.preb[r*width:(r+1)*width:(r+1)*width])
+	}
+}
+
+// spareBuf returns a length-need buffer that does not alias preb,
+// reusing prebAlt's backing when large enough. Contents are garbage;
+// the caller fills every cell it will read.
+func (pf *Profile) spareBuf(need, width int) []float64 {
+	buf := pf.prebAlt[:0]
+	if cap(buf) < need {
+		buf = make([]float64, 0, need+2*width)
+	}
+	return buf[:need]
+}
+
+// swapArena installs buf (obtained from spareBuf) as the row arena and
+// retires the old one to prebAlt for the next relayout — unless the
+// old arena was shared into an immutable child, in which case it is
+// abandoned to that child.
+func (pf *Profile) swapArena(buf []float64) {
+	old := pf.preb
+	pf.preb = buf
+	if pf.prebShared {
+		pf.prebAlt = nil
+		pf.prebShared = false
+	} else {
+		pf.prebAlt = old[:0]
+	}
+}
+
+// adoptCompiled is the mutable paths' bail-out, mirroring recompile:
+// rebuild from scratch, then adopt the fresh state into the receiver —
+// re-homed into the receiver's buffers where possible — keeping it
+// exclusive and carrying the fallback count.
+func (pf *Profile) adoptCompiled(s task.Set, bump bool) error {
+	fresh, err := Compile(s, pf.alg)
+	if err != nil {
+		return err
+	}
+	fb := pf.fallbacks
+	if bump {
+		fb++
+	}
+	preb, alt, hdrs := pf.preb, pf.prebAlt, pf.pre[:0]
+	if pf.prebShared {
+		preb = nil
+	}
+	rows := fresh.pre
+	*pf = *fresh
+	pf.fallbacks = fb
+	pf.exclusive = true
+	if pf.idx != nil {
+		n, N := len(rows), pf.idx.Len()
+		need := n * N
+		a, b := preb[:0], alt[:0]
+		if cap(a) < need && cap(b) >= need {
+			a, b = b, a
+		}
+		if cap(a) < need {
+			a = make([]float64, 0, need+2*N)
+		}
+		pf.preb, pf.prebAlt = a[:need], b
+		for r, row := range rows {
+			copy(pf.preb[r*N:(r+1)*N], row)
+		}
+		pf.pre = hdrs
+		pf.setRows(n, N)
+		pf.pinned = cap(pf.preb) + cap(pf.prebAlt)
+	} else {
+		// Keep the buffers around: an empty profile may grow again.
+		pf.preb, pf.prebAlt = preb, alt
+		pf.pre = hdrs
+	}
+	return nil
+}
+
+func (pf *Profile) addTasksEDF(add []task.Task) error {
+	if len(pf.tasks) == 0 {
+		return pf.adoptCompiled(append(make(task.Set, 0, len(add)), add...), false)
+	}
+	sc := patchPool.Get().(*patchScratch)
+	defer patchPool.Put(sc)
+	// Fold the hyperperiod; the fold is monotone from the current
+	// horizon, so the first divergence is permanent and means every
+	// stream re-ranges — bail to a rebuild immediately.
+	scaledAdd := sc.scaled[:0]
+	hInt := pf.horizonInt
+	for _, t := range add {
+		p, err := timeu.ScaledPeriod(t.T, HyperperiodDenominator)
+		if err != nil {
+			sc.scaled = scaledAdd
+			return err
+		}
+		scaledAdd = append(scaledAdd, p)
+		if hInt = timeu.LCM(hInt, p); hInt != pf.horizonInt {
+			sc.scaled = scaledAdd
+			cand := append(append(make(task.Set, 0, len(pf.tasks)+len(add)), pf.tasks...), add...)
+			return pf.adoptCompiled(cand, true)
+		}
+	}
+	sc.scaled = scaledAdd
+	n, k := len(pf.tasks), len(add)
+	// Union of the newcomers' deadline streams, built on pooled
+	// buffers (same values the immutable path's MergeUnique fold
+	// produces).
+	union := points.AppendTaskDeadlines(sc.union[:0], add[0], pf.horizon)
+	for _, t := range add[1:] {
+		sc.dls = points.AppendTaskDeadlines(sc.dls[:0], t, pf.horizon)
+		union, sc.tmp = points.MergeUniqueInto(union, sc.dls, sc.tmp[:0]), union
+	}
+	sc.union = union
+	inserted := pf.idx.Merge(union)
+	N := pf.idx.Len()
+	if len(inserted) == 0 {
+		// Widths unchanged: extend the arena by k rows in place (or
+		// privatize it first if an immutable child shares it).
+		need := (n + k) * N
+		if pf.prebShared || cap(pf.preb) < need {
+			buf := pf.spareBuf(need, N)
+			copy(buf, pf.preb[:n*N])
+			pf.swapArena(buf)
+		} else {
+			pf.preb = pf.preb[:need]
+		}
+	} else {
+		// The stream widened: relayout rows 0..n-1 into the spare
+		// arena with gap columns at the inserted positions (the same
+		// block copies the immutable path performs).
+		buf := pf.spareBuf((n+k)*N, N)
+		for r := 0; r < n; r++ {
+			dst, src := buf[r*N:(r+1)*N], pf.pre[r]
+			from, at := 0, 0
+			for _, p := range inserted {
+				copy(dst[at:p], src[from:from+(p-at)])
+				from += p - at
+				at = p + 1
+			}
+			copy(dst[at:], src[from:])
+		}
+		pf.swapArena(buf)
+	}
+	pf.setRows(n+k, N)
+	if len(inserted) > 0 {
+		// Brand-new points: accumulate the old set's prefix demand
+		// exactly as a fresh Compile would.
+		ts := pf.idx.Ts()
+		for _, p := range inserted {
+			x := ts[p]
+			w := 0.0
+			for r := 0; r < n; r++ {
+				w += demandTerm(pf.tasks[r], x)
+				pf.pre[r][p] = w
+			}
+		}
+	}
+	for _, t := range add {
+		sc.dls = points.AppendTaskDeadlines(sc.dls[:0], t, pf.horizon)
+		if err := pf.idx.AddOwners(sc.dls); err != nil {
+			// Impossible unless the compiled state is corrupted;
+			// degrade to a rebuild rather than panic.
+			cand := append(append(make(task.Set, 0, n+k), pf.tasks...), add...)
+			return pf.adoptCompiled(cand, true)
+		}
+	}
+	pf.tasks = append(pf.tasks, add...)
+	pf.scaled = append(pf.scaled, scaledAdd...)
+	// Append the k new prefix rows, each the left-fold continuation of
+	// the one before.
+	ts := pf.idx.Ts()
+	base := pf.pre[n-1]
+	for j := 0; j < k; j++ {
+		row := pf.pre[n+j]
+		t := pf.tasks[n+j]
+		for p, x := range ts {
+			row[p] = base[p] + demandTerm(t, x)
+		}
+		base = row
+	}
+	if err := pf.idx.SetDemand(pf.pre[n+k-1]); err != nil {
+		return pf.adoptCompiled(pf.tasks, true)
+	}
+	pf.edf = pf.idx.Kept()
+	pf.pinned = cap(pf.preb) + cap(pf.prebAlt)
+	return nil
+}
+
+func (pf *Profile) dropTasksEDF(rem []task.Task) error {
+	n0 := len(pf.tasks)
+	sc := patchPool.Get().(*patchScratch)
+	defer patchPool.Put(sc)
+	used := sc.used
+	if cap(used) < n0 {
+		used = make([]bool, n0)
+	} else {
+		used = used[:n0]
+		clear(used)
+	}
+	sc.used = used
+	minIdx := n0
+	for _, t := range rem {
+		found := -1
+		for i := range pf.tasks {
+			if !used[i] && pf.tasks[i] == t {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("analysis: DropTasks: task %q not in profile", t.Name)
+		}
+		used[found] = true
+		if found < minIdx {
+			minIdx = found
+		}
+	}
+	if len(rem) == n0 {
+		return pf.adoptCompiled(nil, false)
+	}
+	// Re-fold the surviving hyperperiod. Every cached scaled period
+	// divides the current horizon and the fold is monotone, so once it
+	// reaches the horizon it stays there — stop early.
+	hInt := int64(1)
+	for i, p := range pf.scaled {
+		if !used[i] {
+			if hInt = timeu.LCM(hInt, p); hInt == pf.horizonInt {
+				break
+			}
+		}
+	}
+	if hInt != pf.horizonInt {
+		surv := make(task.Set, 0, n0-len(rem))
+		for i, tk := range pf.tasks {
+			if !used[i] {
+				surv = append(surv, tk)
+			}
+		}
+		return pf.adoptCompiled(surv, true)
+	}
+	// Compact tasks and scaled in place.
+	w := 0
+	for i := 0; i < n0; i++ {
+		if !used[i] {
+			pf.tasks[w] = pf.tasks[i]
+			pf.scaled[w] = pf.scaled[i]
+			w++
+		}
+	}
+	pf.tasks = pf.tasks[:w]
+	pf.scaled = pf.scaled[:w]
+	n := w
+	for _, t := range rem {
+		sc.dls = points.AppendTaskDeadlines(sc.dls[:0], t, pf.horizon)
+		if err := pf.idx.RemoveOwners(sc.dls); err != nil {
+			return pf.adoptCompiled(pf.tasks, true)
+		}
+	}
+	dropped := pf.idx.Compact()
+	N := pf.idx.Len()
+	keep := minIdx
+	if keep > n {
+		keep = n
+	}
+	if len(dropped) == 0 {
+		// Widths unchanged: rows above the first removed position keep
+		// their values in place; the arena just sheds rows.
+		if pf.prebShared {
+			buf := pf.spareBuf(n*N, N)
+			copy(buf[:keep*N], pf.preb[:keep*N])
+			pf.swapArena(buf)
+		} else {
+			pf.preb = pf.preb[:n*N]
+		}
+	} else {
+		// The stream narrowed: relayout the kept rows into the spare
+		// arena, skipping the dropped columns.
+		buf := pf.spareBuf(n*N, N)
+		for r := 0; r < keep; r++ {
+			dst, src := buf[r*N:(r+1)*N], pf.pre[r]
+			from, at := 0, 0
+			for _, p := range dropped {
+				copy(dst[at:at+(p-from)], src[from:p])
+				at += p - from
+				from = p + 1
+			}
+			copy(dst[at:], src[from:])
+		}
+		pf.swapArena(buf)
+	}
+	pf.setRows(n, N)
+	// Re-accumulate the suffix rows in place; each reads the (already
+	// final) row above it.
+	ts := pf.idx.Ts()
+	for r := keep; r < n; r++ {
+		tk := pf.tasks[r]
+		row := pf.pre[r]
+		if r == 0 {
+			for p, x := range ts {
+				row[p] = demandTerm(tk, x)
+			}
+		} else {
+			base := pf.pre[r-1]
+			for p, x := range ts {
+				row[p] = base[p] + demandTerm(tk, x)
+			}
+		}
+	}
+	if err := pf.idx.SetDemand(pf.pre[n-1]); err != nil {
+		return pf.adoptCompiled(pf.tasks, true)
+	}
+	pf.edf = pf.idx.Kept()
+	pf.pinned = cap(pf.preb) + cap(pf.prebAlt)
+	return nil
+}
+
+// addTasksFP / dropTasksFP reuse the immutable suffix-rebuild paths:
+// FP rows are immutable once built, so adopting the result's fields
+// into the receiver shares state only in the always-safe direction.
+func (pf *Profile) addTasksFP(add []task.Task) error {
+	next, err := pf.withTasksFP(add)
+	if err != nil {
+		return err
+	}
+	pf.tasks, pf.fp, pf.fallbacks = next.tasks, next.fp, next.fallbacks
+	return nil
+}
+
+func (pf *Profile) dropTasksFP(rem []task.Task) error {
+	next, err := pf.withoutTasksFP(rem)
+	if err != nil {
+		return err
+	}
+	pf.tasks, pf.fp, pf.fallbacks = next.tasks, next.fp, next.fallbacks
+	return nil
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/task"
+)
+
+// TestMutableChurnBitIdentical drives randomized in-place
+// AddTasks/DropTasks batches on a thawed profile and asserts after
+// every step that the profile is bit-identical to a fresh Compile of
+// the surviving set, retained streams included — the same oracle the
+// immutable churn test uses.
+func TestMutableChurnBitIdentical(t *testing.T) {
+	pool := churnPool()
+	for _, alg := range []Alg{EDF, RM, DM} {
+		t.Run(alg.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(alg) + 23))
+			base, err := Compile(nil, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pf := base.Thawed()
+			if !pf.Exclusive() {
+				t.Fatal("Thawed profile not exclusive")
+			}
+			var live task.Set
+			for step := 0; step < 250; step++ {
+				// Batch of 1..3 coherent ops: admit absent tasks or
+				// remove present ones.
+				tk := pool[rng.Intn(len(pool))]
+				idx := -1
+				for i := range live {
+					if live[i].Name == tk.Name {
+						idx = i
+						break
+					}
+				}
+				var stage string
+				if idx < 0 {
+					stage = "admit " + tk.Name
+					if err := pf.AddTasks([]task.Task{tk}); err != nil {
+						t.Fatalf("step %d (%s): %v", step, stage, err)
+					}
+					live = append(live, tk)
+				} else {
+					stage = "remove " + tk.Name
+					if err := pf.DropTasks([]task.Task{tk}); err != nil {
+						t.Fatalf("step %d (%s): %v", step, stage, err)
+					}
+					live = append(append(task.Set(nil), live[:idx]...), live[idx+1:]...)
+				}
+				fresh, err := Compile(live, alg)
+				if err != nil {
+					t.Fatalf("step %d (%s): oracle Compile: %v", step, stage, err)
+				}
+				assertProfileIdentical(t, stage, pf, fresh)
+				p := 0.5 + rng.Float64()*5
+				if got, want := pf.MinQ(p), fresh.MinQ(p); got != want {
+					t.Fatalf("step %d (%s): MinQ(%g) = %x, fresh = %x", step, stage, p, got, want)
+				}
+			}
+			if err := pf.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMutableRollbackBitIdentical checks the manager's rejection
+// contract: AddTasks followed by DropTasks of the same batch restores
+// the profile bit for bit, for batches that merge points, share
+// points, and fall back on hyperperiod changes.
+func TestMutableRollbackBitIdentical(t *testing.T) {
+	pool := churnPool()
+	base := task.Set{pool[0], pool[2], pool[3]}
+	for _, alg := range []Alg{EDF, DM} {
+		t.Run(alg.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(alg) + 41))
+			pf, err := CompileMutable(base, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Compile(base, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 120; step++ {
+				k := 1 + rng.Intn(3)
+				batch := make([]task.Task, 0, k)
+				perm := rng.Perm(len(pool))
+				for _, i := range perm[:k] {
+					tk := pool[i]
+					tk.Name = tk.Name + "-trial"
+					batch = append(batch, tk)
+				}
+				if err := pf.AddTasks(batch); err != nil {
+					t.Fatalf("step %d: add: %v", step, err)
+				}
+				if err := pf.DropTasks(batch); err != nil {
+					t.Fatalf("step %d: rollback: %v", step, err)
+				}
+				assertProfileIdentical(t, "rollback", pf, want)
+			}
+		})
+	}
+}
+
+// TestMutableErrors checks the mode guard and that a failed DropTasks
+// leaves the profile untouched.
+func TestMutableErrors(t *testing.T) {
+	base := churnPool()[:3]
+	pf, err := Compile(base, EDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.AddTasks(base[:1]); err == nil {
+		t.Fatal("AddTasks on a non-exclusive profile should fail")
+	}
+	if err := pf.DropTasks(base[:1]); err == nil {
+		t.Fatal("DropTasks on a non-exclusive profile should fail")
+	}
+	mu := pf.Thawed()
+	ghost := task.Task{Name: "ghost", C: 0.1, T: 10, D: 10}
+	if err := mu.DropTasks([]task.Task{base[0], ghost}); err == nil {
+		t.Fatal("DropTasks with an absent task should fail")
+	}
+	assertProfileIdentical(t, "after failed drop", mu, pf)
+	if err := mu.AddTasks([]task.Task{{Name: "bad", C: -1, T: 10, D: 10}}); err == nil {
+		t.Fatal("AddTasks with an invalid task should fail")
+	}
+	assertProfileIdentical(t, "after failed add", mu, pf)
+}
+
+// TestCloneAliasingProperty is the copy-on-write isolation property:
+// randomized interleaved churn across an ancestor's immutable lineage,
+// copy-on-write forks of it, and in-place mutable (thawed) lineages —
+// including immutable forks taken from live mutable profiles — with
+// every lineage compared to an independent fresh Compile after every
+// step. Any state leaking between lineages (shared slabs written in
+// place, arena rows observed across a fork) shows up as a bitwise
+// divergence from the lineage's own oracle.
+func TestCloneAliasingProperty(t *testing.T) {
+	pool := churnPool()
+	type lineage struct {
+		pf   *Profile
+		live task.Set
+	}
+	for _, alg := range []Alg{EDF, DM} {
+		t.Run(alg.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(alg) + 97))
+			root, err := Compile(task.Set{pool[0], pool[2]}, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lins := []*lineage{{pf: root, live: task.Set{pool[0], pool[2]}}}
+			verify := func(step int, why string) {
+				t.Helper()
+				for li, l := range lins {
+					fresh, err := Compile(l.live, alg)
+					if err != nil {
+						t.Fatalf("step %d (%s): lineage %d oracle: %v", step, why, li, err)
+					}
+					assertProfileIdentical(t, why, l.pf, fresh)
+				}
+			}
+			for step := 0; step < 120; step++ {
+				l := lins[rng.Intn(len(lins))]
+				switch op := rng.Intn(10); {
+				case op == 0 && len(lins) < 6:
+					// Fork a mutable copy; subsequent in-place churn on it
+					// must stay invisible to every other lineage.
+					lins = append(lins, &lineage{
+						pf:   l.pf.Thawed(),
+						live: append(task.Set(nil), l.live...),
+					})
+				case op == 1 && len(lins) < 6:
+					// Fork an immutable (copy-on-write) sibling via a no-op
+					// batch boundary: admit one task through the immutable
+					// path, even when the source lineage is mutable.
+					tk := pool[rng.Intn(len(pool))]
+					tk.Name = tk.Name + "-fork"
+					child, err := l.pf.WithTasks([]task.Task{tk})
+					if err != nil {
+						t.Fatalf("step %d: fork: %v", step, err)
+					}
+					lins = append(lins, &lineage{
+						pf:   child,
+						live: append(append(task.Set(nil), l.live...), tk),
+					})
+				default:
+					tk := pool[rng.Intn(len(pool))]
+					idx := -1
+					for i := range l.live {
+						if l.live[i].Name == tk.Name {
+							idx = i
+							break
+						}
+					}
+					if idx < 0 {
+						if l.pf.Exclusive() {
+							err = l.pf.AddTasks([]task.Task{tk})
+						} else {
+							l.pf, err = l.pf.WithTasks([]task.Task{tk})
+						}
+						if err != nil {
+							t.Fatalf("step %d: admit %s: %v", step, tk.Name, err)
+						}
+						l.live = append(l.live, tk)
+					} else {
+						if l.pf.Exclusive() {
+							err = l.pf.DropTasks([]task.Task{tk})
+						} else {
+							l.pf, err = l.pf.WithoutTasks([]task.Task{tk})
+						}
+						if err != nil {
+							t.Fatalf("step %d: remove %s: %v", step, tk.Name, err)
+						}
+						l.live = append(append(task.Set(nil), l.live[:idx]...), l.live[idx+1:]...)
+					}
+				}
+				verify(step, "after step")
+			}
+			for li, l := range lins {
+				if len(l.live) == 0 {
+					continue
+				}
+				if err := l.pf.Check(); err != nil {
+					t.Fatalf("final check, lineage %d: %v", li, err)
+				}
+			}
+		})
+	}
+}

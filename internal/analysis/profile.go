@@ -88,6 +88,19 @@ type Profile struct {
 	// ancestor still addresses. The ratio pinned/live drives
 	// consolidation (see MemStats).
 	pinned int
+
+	// Exclusive-mode state (mutate.go). An exclusive profile is owned by
+	// a single goroutine (the online manager holds it under a channel
+	// lock) and is patched in place by AddTasks/DropTasks instead of
+	// cloned: preb is the arena backing every pre row at a uniform
+	// stride, prebAlt the spare buffer width-changing relayouts swap
+	// with, and prebShared latches that an immutable WithTasks/
+	// WithoutTasks shared rows of preb into a child, forcing the next
+	// in-place relayout to abandon it.
+	exclusive  bool
+	preb       []float64
+	prebAlt    []float64
+	prebShared bool
 }
 
 // Compile builds the profile of s under alg. It performs all the

@@ -30,6 +30,14 @@ type LoopOptions struct {
 	FaultDurationUnits float64
 	// Policy ranks tasks for shedding, eviction and readmission.
 	Policy online.Policy
+	// Scenario, when non-nil, replays this timeline instead of
+	// generating one — the path behind scenario files. Seed then only
+	// seeds the fault schedule and Events is ignored.
+	Scenario *sim.Scenario
+	// SettlePeriods is passed through to the scenario runtime
+	// (sim.ScenarioOptions.SettlePeriods): 0 = default, negative = no
+	// settling delay for newly admitted tasks.
+	SettlePeriods int
 	// Parallel replays the channels concurrently.
 	Parallel bool
 	// CollectTrace records the replay's trace (bounded by
@@ -108,11 +116,20 @@ func (r *LoopResult) String() string {
 // An error reports either a replay failure or invariant violations.
 func RunClosedLoop(m *online.Manager, opts LoopOptions) (*LoopResult, error) {
 	opts = opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	cfg := m.Config()
+	var events []sim.WorkloadEvent
+	if opts.Scenario != nil {
+		events = append([]sim.WorkloadEvent(nil), opts.Scenario.Events...)
+	} else {
+		events = generateTimeline(m.Config().P, opts)
+	}
+	return runClosedLoop(m, events, opts)
+}
 
-	// Generate the timeline. Times walk forward through the middle of
-	// the horizon so every accepted change gets to execute for a while.
+// generateTimeline produces the seeded workload storm. Times walk
+// forward through the middle of the horizon so every accepted change
+// gets to execute for a while.
+func generateTimeline(periodUnits float64, opts LoopOptions) []sim.WorkloadEvent {
+	rng := rand.New(rand.NewSource(opts.Seed))
 	var (
 		events      []sim.WorkloadEvent
 		pool        []string // guests the generator believes are in the system
@@ -162,7 +179,7 @@ func RunClosedLoop(m *online.Manager, opts LoopOptions) (*LoopResult, error) {
 			pool = append(pool[:i], pool[i+1:]...)
 		case r < 9: // revoke a sliver of capacity
 			ev.Kind = sim.EventRevoke
-			ev.Capacity = (0.01 + 0.03*rng.Float64()) * cfg.P
+			ev.Capacity = (0.01 + 0.03*rng.Float64()) * periodUnits
 			outstanding += ev.Capacity
 		default: // restore part of what is outstanding
 			if outstanding == 0 {
@@ -178,7 +195,11 @@ func RunClosedLoop(m *online.Manager, opts LoopOptions) (*LoopResult, error) {
 		}
 		events = append(events, ev)
 	}
+	return events
+}
 
+// runClosedLoop replays the timeline and asserts the invariants.
+func runClosedLoop(m *online.Manager, events []sim.WorkloadEvent, opts LoopOptions) (*LoopResult, error) {
 	simOpts := sim.ScenarioOptions{
 		Options: sim.Options{
 			Horizon:        timeu.FromUnits(opts.HorizonUnits),
@@ -186,7 +207,8 @@ func RunClosedLoop(m *online.Manager, opts LoopOptions) (*LoopResult, error) {
 			CollectTrace:   opts.CollectTrace,
 			MaxTraceEvents: opts.MaxTraceEvents,
 		},
-		Policy: opts.Policy,
+		Policy:        opts.Policy,
+		SettlePeriods: opts.SettlePeriods,
 	}
 	if opts.FaultRate > 0 {
 		simOpts.Injector = faults.Poisson{

@@ -18,6 +18,13 @@ func Check(x *Index) error {
 	if x == nil {
 		return nil
 	}
+	// Settle any deferred small-stream refresh so the rank-order
+	// invariants below are meaningful; a quiescent index (one whose last
+	// mutation was followed by Kept) is already clean and this is a
+	// no-op.
+	if !x.big {
+		x.refresh()
+	}
 	n := len(x.ts)
 	if len(x.slot) != n {
 		return fmt.Errorf("envelope: check: %d stream points but %d slot refs", n, len(x.slot))

@@ -82,6 +82,15 @@ const (
 	// degrades to from-scratch walks.
 	maxSlots = 1 << slotBits
 	slotMask = maxSlots - 1
+
+	// smallLimit is the stream length at or below which the index stops
+	// maintaining the rank order incrementally and instead marks the
+	// flags dirty, rebuilding keys + maxInf with one sort-and-walk at the
+	// next read. For tiny streams one O(n log n) refresh per batch of
+	// mutations beats per-point insertKey/removeKey bookkeeping. The
+	// refresh runs the same canonical walk over the same packed keys, so
+	// the resulting flags are bit-identical to the incremental path.
+	smallLimit = 32
 )
 
 // Pair is one scheduling point: the time T and the demand (or request
@@ -118,9 +127,30 @@ type Index struct {
 	maxInf []float64
 
 	// big marks degraded mode (> maxSlots slots were needed): no keys,
-	// flags recomputed from scratch when dirty.
+	// flags recomputed from scratch when dirty. flagsDirty is also the
+	// small-stream deferral latch: at or below smallLimit points the
+	// mutators skip incremental key maintenance and refresh rebuilds the
+	// rank order wholesale at the next read.
 	big        bool
 	flagsDirty bool
+
+	// Copy-on-write latches. A Clone shares every array with the
+	// receiver and sets these on the clone only; each mutator privatizes
+	// the group it writes through the ensure* helpers. The clone
+	// contract: once an index has been cloned, the RECEIVER must not be
+	// mutated again (published profiles are immutable, so the codebase
+	// only mutates clones or never-cloned exclusive indexes).
+	sharedStream bool // ts, slot
+	sharedSlabs  bool // tS, wS, rank0S, infS, ownS, dropS, free
+	sharedRank   bool // keys, maxInf
+	sharedKept   bool // kept
+
+	// posBuf is reused scratch for SetDemand's changed-position list;
+	// retBuf backs the position lists Merge and Compact return (valid
+	// until the next mutation). Cleared on Clone so siblings never share
+	// scratch.
+	posBuf []int
+	retBuf []int
 
 	// kept caches the pruned envelope in time order.
 	kept   []Pair
@@ -216,13 +246,34 @@ func (x *Index) Owners() []int32 {
 	return out
 }
 
-// Clone returns a deep copy sharing no mutable state with the
-// receiver.
+// Clone returns a copy-on-write copy: every columnar slab is shared
+// with the receiver until the clone first writes it, at which point the
+// touched group (stream order, slot columns, or rank order) is
+// privatized. The receiver is left untouched — Clone never writes the
+// receiver, so concurrent Clones of one quiescent snapshot are safe —
+// but the receiver MUST NOT be mutated after being cloned: published
+// profiles treat their indexes as immutable snapshots and only ever
+// mutate the clone, which is exactly the contract this relies on.
 func (x *Index) Clone() *Index {
+	c := *x
+	c.sharedStream = true
+	c.sharedSlabs = true
+	c.sharedRank = true
+	c.sharedKept = true
+	c.posBuf = nil
+	c.retBuf = nil
+	return &c
+}
+
+// DeepClone returns a deep copy sharing no mutable state with the
+// receiver. Unlike Clone, the receiver remains free to mutate
+// afterwards — this is the snapshot to take when the RECEIVER (not the
+// copy) is the long-lived mutable side.
+func (x *Index) DeepClone() *Index {
 	c := *x
 	// Pack the float and int32 columns into one backing allocation
 	// each; the full slice expressions cap every column at its length,
-	// so a later append on the clone reallocates instead of clobbering
+	// so a later append on the copy reallocates instead of clobbering
 	// its neighbour.
 	n, m, k := len(x.ts), len(x.tS), len(x.maxInf)
 	fb := make([]float64, n+4*m+k)
@@ -248,22 +299,119 @@ func (x *Index) Clone() *Index {
 	copy(c.free, x.free)
 	c.dropS = slices.Clone(x.dropS)
 	c.keys = slices.Clone(x.keys)
-	// kept is immutable once materialized; sharing it is safe because
-	// mutations rebuild it into a fresh slice.
+	c.kept = slices.Clone(x.kept)
+	c.sharedStream, c.sharedSlabs, c.sharedRank, c.sharedKept = false, false, false, false
+	c.posBuf = nil
+	c.retBuf = nil
 	return &c
+}
+
+// ensureStream privatizes the stream-order arrays (ts, slot) before an
+// in-place write.
+func (x *Index) ensureStream() {
+	if !x.sharedStream {
+		return
+	}
+	x.ts = slices.Clone(x.ts)
+	x.slot = slices.Clone(x.slot)
+	x.sharedStream = false
+}
+
+// ensureSlabs privatizes the per-slot columns before an in-place write.
+// The float columns share one backing allocation; the full slice
+// expressions cap each column at its length so a later append
+// reallocates instead of clobbering its neighbour.
+func (x *Index) ensureSlabs() {
+	if !x.sharedSlabs {
+		return
+	}
+	m := len(x.tS)
+	fb := make([]float64, 4*m)
+	tS := fb[0*m : 1*m : 1*m]
+	wS := fb[1*m : 2*m : 2*m]
+	rank0S := fb[2*m : 3*m : 3*m]
+	infS := fb[3*m : 4*m : 4*m]
+	copy(tS, x.tS)
+	copy(wS, x.wS)
+	copy(rank0S, x.rank0S)
+	copy(infS, x.infS)
+	x.tS, x.wS, x.rank0S, x.infS = tS, wS, rank0S, infS
+	f := len(x.free)
+	ib := make([]int32, m+f)
+	ownS := ib[:m:m]
+	free := ib[m : m+f : m+f]
+	copy(ownS, x.ownS)
+	copy(free, x.free)
+	x.ownS, x.free = ownS, free
+	x.dropS = slices.Clone(x.dropS)
+	x.sharedSlabs = false
+}
+
+// ensureRank privatizes the rank-order arrays (keys, maxInf) before an
+// in-place write.
+func (x *Index) ensureRank() {
+	if !x.sharedRank {
+		return
+	}
+	x.keys = slices.Clone(x.keys)
+	x.maxInf = slices.Clone(x.maxInf)
+	x.sharedRank = false
+}
+
+// deferSmall reports whether key maintenance is deferred to the next
+// refresh: a deferral is already pending (the rank order is stale), or
+// the stream is small enough that one sort per refresh beats
+// incremental bookkeeping. Only meaningful when !big.
+func (x *Index) deferSmall() bool {
+	return x.flagsDirty || len(x.ts) <= smallLimit
+}
+
+// refresh settles any deferred flag maintenance: big mode re-walks with
+// the comparator order, small mode rebuilds the packed keys from the
+// slots and re-runs the canonical sort-and-walk — the same predicate
+// the incremental path evaluates, so the flags come out bit-identical.
+func (x *Index) refresh() {
+	if !x.flagsDirty {
+		return
+	}
+	if x.big {
+		x.rebuildBig()
+		return
+	}
+	if x.sharedRank {
+		// Rebuilding wholesale: drop the shared arrays instead of
+		// cloning their stale contents.
+		x.keys = make([]uint64, 0, len(x.slot))
+		x.maxInf = nil
+		x.sharedRank = false
+	}
+	x.keys = x.keys[:0]
+	for _, s := range x.slot {
+		x.keys = append(x.keys, packRank(x.rank0S[s])|uint64(s))
+	}
+	x.resort()
+	x.flagsDirty = false
 }
 
 // Kept materializes the pruned envelope in time order. The result is
 // cached until the next mutation; the returned slice must be treated
-// as immutable.
+// as immutable and must not be read across a later mutation of the
+// index (a mutating owner's rebuild may reuse the buffer in place).
 func (x *Index) Kept() []Pair {
 	if x.keptOK {
 		return x.kept
 	}
-	if x.big && x.flagsDirty {
-		x.rebuildBig()
+	x.refresh()
+	var kept []Pair
+	if x.sharedKept || cap(x.kept) < len(x.ts) {
+		kept = make([]Pair, 0, len(x.ts))
+		x.sharedKept = false
+	} else {
+		// The previous materialization is this index's own buffer (no
+		// clone shares it): rebuild in place. Holders of the previous
+		// Kept result were told not to retain it across mutations.
+		kept = x.kept[:0]
 	}
-	kept := make([]Pair, 0, len(x.ts))
 	for p, s := range x.slot {
 		if !x.dropS[s] {
 			kept = append(kept, Pair{T: x.ts[p], W: x.wS[s]})
@@ -301,7 +449,8 @@ func (x *Index) Remove(ts []float64) error {
 // yet in the stream, with zero demand and zero owners — placeholders
 // the caller completes via AddOwners and SetDemand. It returns the
 // stream positions of the inserted points, ascending, in the merged
-// coordinates.
+// coordinates. The returned slice is the index's own scratch: it is
+// valid until the next Merge or Compact.
 func (x *Index) Merge(union []float64) []int {
 	missing := 0
 	i := 0
@@ -319,12 +468,13 @@ func (x *Index) Merge(union []float64) []int {
 		return nil
 	}
 	if missing <= x.sparseLimit() {
-		inserted := make([]int, 0, missing)
+		inserted := x.retBuf[:0]
 		for _, t := range union {
 			if x.Pos(t) < 0 {
 				inserted = append(inserted, x.insertPoint(t, 0, 0))
 			}
 		}
+		x.retBuf = inserted
 		return inserted
 	}
 	// Dense path: splice the streams in one pass, then append the new
@@ -332,7 +482,7 @@ func (x *Index) Merge(union []float64) []int {
 	n := len(x.ts)
 	ts := make([]float64, 0, n+missing)
 	slot := make([]int32, 0, n+missing)
-	inserted := make([]int, 0, missing)
+	inserted := x.retBuf[:0]
 	i = 0
 	for _, t := range union {
 		for i < n && x.ts[i] < t {
@@ -354,11 +504,14 @@ func (x *Index) Merge(union []float64) []int {
 	ts = append(ts, x.ts[i:]...)
 	slot = append(slot, x.slot[i:]...)
 	x.ts, x.slot = ts, slot
+	x.sharedStream = false // freshly built arrays
+	x.retBuf = inserted
 	x.keptOK = false
-	if x.big {
+	if x.big || x.deferSmall() {
 		x.flagsDirty = true
 		return inserted
 	}
+	x.ensureRank()
 	for _, p := range inserted {
 		s := x.slot[p]
 		x.keys = append(x.keys, packRank(x.rank0S[s])|uint64(s))
@@ -378,6 +531,7 @@ func (x *Index) AddOwners(stream []float64) error {
 		if i == len(x.ts) || x.ts[i] != t {
 			return fmt.Errorf("envelope: AddOwners: point t=%v not in index", t)
 		}
+		x.ensureSlabs()
 		x.ownS[x.slot[i]]++
 		i++
 	}
@@ -401,6 +555,7 @@ func (x *Index) RemoveOwners(stream []float64) error {
 		if x.ownS[s] <= 0 {
 			return fmt.Errorf("envelope: RemoveOwners: point t=%v has no owners left", t)
 		}
+		x.ensureSlabs()
 		x.ownS[s]--
 		i++
 	}
@@ -409,14 +564,16 @@ func (x *Index) RemoveOwners(stream []float64) error {
 
 // Compact drops every point whose owner count reached zero, returning
 // their stream positions (ascending) in the pre-compaction
-// coordinates.
+// coordinates. The returned slice is the index's own scratch: it is
+// valid until the next Merge or Compact.
 func (x *Index) Compact() []int {
-	var removed []int
+	removed := x.retBuf[:0]
 	for p, s := range x.slot {
 		if x.ownS[s] == 0 {
 			removed = append(removed, p)
 		}
 	}
+	x.retBuf = removed
 	if len(removed) == 0 {
 		return nil
 	}
@@ -429,6 +586,7 @@ func (x *Index) Compact() []int {
 		return removed
 	}
 	// Dense path: splice the survivors and rebuild the rank order.
+	x.ensureStream()
 	w := 0
 	for p, s := range x.slot {
 		if x.ownS[s] == 0 {
@@ -442,9 +600,14 @@ func (x *Index) Compact() []int {
 	x.ts = x.ts[:w]
 	x.slot = x.slot[:w]
 	x.keptOK = false
-	if x.big {
+	if x.big || x.deferSmall() {
 		x.flagsDirty = true
 		return removed
+	}
+	if x.sharedRank {
+		x.keys = make([]uint64, 0, w)
+		x.maxInf = nil
+		x.sharedRank = false
 	}
 	x.keys = x.keys[:0]
 	for _, s := range x.slot {
@@ -460,17 +623,19 @@ func (x *Index) SetDemand(ws []float64) error {
 	if len(ws) != len(x.ts) {
 		return fmt.Errorf("envelope: SetDemand: %d demands for %d points", len(ws), len(x.ts))
 	}
-	var changed []int
+	changed := x.posBuf[:0]
 	for p, s := range x.slot {
 		if math.Float64bits(x.wS[s]) != math.Float64bits(ws[p]) {
 			changed = append(changed, p)
 		}
 	}
+	x.posBuf = changed
 	if len(changed) == 0 {
 		return nil
 	}
 	x.keptOK = false
-	if !x.big && len(changed) <= x.sparseLimit() {
+	x.ensureSlabs()
+	if !x.big && !x.deferSmall() && len(changed) <= x.sparseLimit() {
 		for _, p := range changed {
 			s := x.slot[p]
 			x.removeKey(s)
@@ -485,12 +650,13 @@ func (x *Index) SetDemand(ws []float64) error {
 		x.wS[s] = ws[p]
 		x.rank0S[s], x.infS[s] = x.rank(x.tS[s], ws[p])
 	}
-	if x.big {
+	if x.big || x.deferSmall() {
 		x.flagsDirty = true
 		return nil
 	}
 	// Remap the keys in place — the old rank order is a near-sorted
 	// seed — then re-sort and re-walk.
+	x.ensureRank()
 	for j, k := range x.keys {
 		s := k & slotMask
 		x.keys[j] = packRank(x.rank0S[s]) | s
@@ -571,6 +737,8 @@ func walk(keys []uint64, r0, inf []float64, drop []bool, maxInf []float64) {
 // resort sorts the prepared keys, rebuilds maxInf and re-evaluates
 // every drop flag with the canonical walk.
 func (x *Index) resort() {
+	x.ensureRank()
+	x.ensureSlabs() // walk writes dropS
 	slices.Sort(x.keys)
 	if cap(x.maxInf) < len(x.keys) {
 		x.maxInf = make([]float64, len(x.keys))
@@ -583,6 +751,7 @@ func (x *Index) resort() {
 // alloc claims a slot id, promoting the index to big mode when the id
 // would not fit the packed-key slot bits.
 func (x *Index) alloc() int32 {
+	x.ensureSlabs()
 	if n := len(x.free); n > 0 {
 		s := x.free[n-1]
 		x.free = x.free[:n-1]
@@ -612,6 +781,7 @@ func (x *Index) promote() {
 }
 
 func (x *Index) freeSlot(s int32) {
+	x.ensureSlabs()
 	x.dropS[s] = false
 	x.ownS[s] = 0
 	x.free = append(x.free, s)
@@ -624,10 +794,11 @@ func (x *Index) insertPoint(t, w float64, owners int32) int {
 	x.tS[s], x.wS[s], x.ownS[s] = t, w, owners
 	x.rank0S[s], x.infS[s] = x.rank(t, w)
 	x.dropS[s] = false
+	x.ensureStream()
 	x.ts = slices.Insert(x.ts, p, t)
 	x.slot = slices.Insert(x.slot, p, s)
 	x.keptOK = false
-	if x.big {
+	if x.big || x.deferSmall() {
 		x.flagsDirty = true
 		return p
 	}
@@ -638,10 +809,11 @@ func (x *Index) insertPoint(t, w float64, owners int32) int {
 // removePoint drops the point at stream position p.
 func (x *Index) removePoint(p int) {
 	s := x.slot[p]
+	x.ensureStream()
 	x.ts = slices.Delete(x.ts, p, p+1)
 	x.slot = slices.Delete(x.slot, p, p+1)
 	x.keptOK = false
-	if x.big {
+	if x.big || x.deferSmall() {
 		x.flagsDirty = true
 	} else {
 		x.removeKey(s)
@@ -658,6 +830,8 @@ func (x *Index) upperBound(k uint64) int {
 // contiguous maxInf absorption span, the point's own flag, and a
 // re-evaluation of the points whose fold boundary lands in the span.
 func (x *Index) insertKey(s int32) {
+	x.ensureRank()
+	x.ensureSlabs() // applyFlag writes dropS
 	key := packRank(x.rank0S[s]) | uint64(s)
 	q := x.upperBound(key)
 	inf := x.infS[s]
@@ -687,6 +861,8 @@ func (x *Index) insertKey(s int32) {
 // the points whose fold prefix contained the removed key and whose
 // prefix maximum the removed point decided.
 func (x *Index) removeKey(s int32) {
+	x.ensureRank()
+	x.ensureSlabs() // applyFlag writes dropS
 	key := packRank(x.rank0S[s]) | uint64(s)
 	q := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] >= key })
 	infRem := x.infS[s]
@@ -768,6 +944,7 @@ func (x *Index) reflag(lo, hi int) {
 // comparator-ordered walk (big mode: slot ids exceed the packed-key
 // width).
 func (x *Index) rebuildBig() {
+	x.ensureSlabs() // the walk below writes dropS
 	n := len(x.slot)
 	order := make([]int32, n)
 	for i := range order {

@@ -71,16 +71,20 @@ func (m *Manager) Revoke(capacity float64, pol Policy) (*DegradeReport, error) {
 		t := live[victim]
 		live = append(live[:victim], live[victim+1:]...)
 		tc := findTouched(touched, t)
-		fresh, err := tc.prof.WithoutTasks(task.Set{t})
-		if err != nil {
+		tc.thaw()
+		if err := tc.st.prof.DropTasks(task.Set{t}); err != nil {
+			// Cannot happen: the victim came from the live snapshot.
+			// Re-admit the already-evicted tasks and reject.
+			m.readmitEvicted(touched, evicted)
 			return nil, fmt.Errorf("%w: evicting %q: %v", ErrRejected, t.Name, err)
 		}
-		tc.prof, tc.minq = fresh, fresh.MinQ(m.p)
+		tc.minq = tc.st.prof.MinQ(m.p)
 		tc.patches++
 		evicted = append(evicted, t)
 	}
 	next, _, _ := m.candidateLocked(touched)
 	if err := next.Validate(); err != nil {
+		m.readmitEvicted(touched, evicted)
 		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 	}
 	m.installProfiles(touched)
@@ -98,6 +102,19 @@ func (m *Manager) Revoke(capacity float64, pol Policy) (*DegradeReport, error) {
 		m.emit(Event{Kind: trace.Evicted, Tasks: evicted.Names(), Revoked: newRevoked})
 	}
 	return &DegradeReport{Revoked: newRevoked, Evicted: evicted, Parked: parked}, nil
+}
+
+// readmitEvicted is the defensive rollback of an aborted eviction
+// sweep: the in-place drops are re-applied in reverse. Only reachable
+// through cannot-happen paths; the restored profiles hold the original
+// task sets (membership, not original positions).
+func (m *Manager) readmitEvicted(touched []touchedChannel, evicted task.Set) {
+	for i := len(evicted) - 1; i >= 0; i-- {
+		t := evicted[i]
+		tc := findTouched(touched, t)
+		_ = tc.st.prof.AddTasks(task.Set{t})
+		tc.minq = tc.st.prof.MinQ(m.p)
+	}
 }
 
 // Restore returns capacity time units withdrawn by earlier Revoke
@@ -131,23 +148,34 @@ func (m *Manager) Restore(capacity float64, pol Policy) (*DegradeReport, error) 
 	stillParked := make(task.Set, 0, len(candidates))
 	for _, t := range candidates {
 		tc := findTouched(touched, t)
-		trial, err := tc.prof.WithTasks(task.Set{t})
-		if err != nil {
+		tc.thaw()
+		if err := tc.st.prof.AddTasks(task.Set{t}); err != nil {
 			stillParked = append(stillParked, t)
 			continue
 		}
-		oldProf, oldMinq := tc.prof, tc.minq
-		tc.prof, tc.minq = trial, trial.MinQ(m.p)
+		oldMinq := tc.minq
+		tc.minq = tc.st.prof.MinQ(m.p)
 		if next, _, _ := m.candidateLocked(touched); m.fits(next, restored) {
 			tc.patches++
 			readmitted = append(readmitted, t)
 		} else {
-			tc.prof, tc.minq = oldProf, oldMinq
+			// The trial does not fit: the inverse patch restores the
+			// profile bit for bit.
+			_ = tc.st.prof.DropTasks(task.Set{t})
+			tc.minq = oldMinq
 			stillParked = append(stillParked, t)
 		}
 	}
 	next, _, _ := m.candidateLocked(touched)
 	if err := next.Validate(); err != nil {
+		// Cannot happen: the candidate passed the fit check. Undo the
+		// trial admissions before rejecting.
+		for i := len(readmitted) - 1; i >= 0; i-- {
+			t := readmitted[i]
+			tc := findTouched(touched, t)
+			_ = tc.st.prof.DropTasks(task.Set{t})
+			tc.minq = tc.st.prof.MinQ(m.p)
+		}
 		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 	}
 	m.installProfiles(touched)

@@ -74,7 +74,7 @@ package online
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -236,7 +236,9 @@ func NewManager(pr core.Problem, cfg core.Config) (*Manager, error) {
 // slices and the task set — so reconfigurations never write into the
 // caller's CompiledProblem: the source stays bit-identical however the
 // manager churns, and several sibling managers may be built from one
-// compilation. (The profiles themselves are immutable and shared.)
+// compilation. (The shared profiles start immutable; the first
+// reconfiguration of a channel thaws a private exclusive copy that is
+// then patched in place.)
 func NewManagerFromCompiled(cp *core.CompiledProblem, cfg core.Config) (*Manager, error) {
 	pr := cp.Problem()
 	if err := pr.Validate(); err != nil {
@@ -380,7 +382,10 @@ func (m *Manager) AdmitBatch(batch []task.Task) error {
 		return nil
 	}
 	norm := make(task.Set, len(batch))
-	inBatch := make(map[string]bool, len(batch))
+	var inBatch map[string]bool // single-task batches skip the dup map
+	if len(batch) > 1 {
+		inBatch = make(map[string]bool, len(batch))
+	}
 	for i, t := range batch {
 		t = t.Normalized()
 		if err := t.Validate(); err != nil {
@@ -389,10 +394,12 @@ func (m *Manager) AdmitBatch(batch []task.Task) error {
 		if t.Name == "" {
 			return rejectTask(t, VerdictInvalid, "task must have a name (anonymous tasks cannot be removed later)")
 		}
-		if inBatch[t.Name] {
-			return rejectTask(t, VerdictInvalid, "name duplicated in the batch")
+		if inBatch != nil {
+			if inBatch[t.Name] {
+				return rejectTask(t, VerdictInvalid, "name duplicated in the batch")
+			}
+			inBatch[t.Name] = true
 		}
-		inBatch[t.Name] = true
 		norm[i] = t
 	}
 	if err := m.reserveAdmit(norm); err != nil {
@@ -400,20 +407,53 @@ func (m *Manager) AdmitBatch(batch []task.Task) error {
 	}
 	touched := m.lockChannels(norm)
 	defer unlockChannels(touched)
-	for _, tc := range touched {
-		fresh, err := tc.st.prof.WithTasks(norm.ByChannel(tc.st.mode, tc.st.ch))
-		if err != nil {
+	for i := range touched {
+		tc := &touched[i]
+		group := norm
+		if len(touched) > 1 {
+			group = norm.ByChannel(tc.st.mode, tc.st.ch)
+		}
+		tc.thaw()
+		if err := tc.st.prof.AddTasks(group); err != nil {
+			rollbackAdmits(touched) // channels patched before this one
 			m.unreserveAdmit(norm)
 			return &Rejection{Verdicts: []TaskVerdict{{Code: VerdictInvalid, Detail: err.Error()}}}
 		}
-		tc.prof, tc.minq, tc.patches = fresh, fresh.MinQ(m.p), 1
+		tc.group, tc.minq, tc.patches = group, tc.st.prof.MinQ(m.p), 1
 	}
 	if err := m.commit(touched, norm, nil, nil); err != nil {
+		rollbackAdmits(touched)
 		m.unreserveAdmit(norm)
 		return err
 	}
 	m.maybeConsolidate(touched)
 	return nil
+}
+
+// rollbackAdmits undoes in-place admissions on the touched channels
+// whose group was already applied: the inverse patch restores each
+// profile bit for bit (the tested AddTasks∘DropTasks ≡ id property).
+// Committed minq caches were never written, so nothing else needs
+// repair. Caller holds the channel locks.
+func rollbackAdmits(touched []touchedChannel) {
+	for i := range touched {
+		if tc := &touched[i]; len(tc.group) > 0 {
+			_ = tc.st.prof.DropTasks(tc.group) // cannot fail: we added them
+		}
+	}
+}
+
+// rollbackRemoves is the defensive inverse of rollbackAdmits for the
+// removal paths: re-admit the groups already dropped. The restored
+// profile holds the same task set (appended at the end rather than in
+// the original positions), which is all the committed minq cache and
+// the oracle checks depend on.
+func rollbackRemoves(touched []touchedChannel) {
+	for i := range touched {
+		if tc := &touched[i]; len(tc.group) > 0 {
+			_ = tc.st.prof.AddTasks(tc.group)
+		}
+	}
 }
 
 // RemoveBatch releases a group of tasks by name in one reconfiguration,
@@ -432,7 +472,10 @@ func (m *Manager) RemoveBatch(names []string) error {
 	if err != nil {
 		return err
 	}
-	all := append(append(task.Set{}, victims...), parked...)
+	all := victims
+	if len(parked) > 0 {
+		all = append(append(make(task.Set, 0, len(victims)+len(parked)), victims...), parked...)
+	}
 	touched := m.lockChannels(all)
 	defer unlockChannels(touched)
 	// Re-split under the channel locks: a Revoke or Restore that ran
@@ -452,20 +495,25 @@ func (m *Manager) RemoveBatch(names []string) error {
 		}
 	}
 	m.nameMu.Unlock()
-	for _, tc := range touched {
-		group := live.ByChannel(tc.st.mode, tc.st.ch)
-		if len(group) == 0 {
-			tc.prof, tc.minq = tc.st.prof, tc.st.minq
-			continue
+	for i := range touched {
+		tc := &touched[i]
+		group := live
+		if len(touched) > 1 {
+			group = live.ByChannel(tc.st.mode, tc.st.ch)
 		}
-		fresh, err := tc.st.prof.WithoutTasks(group)
-		if err != nil {
+		if len(group) == 0 {
+			continue // a parked-only channel: nothing leaves its profile
+		}
+		tc.thaw()
+		if err := tc.st.prof.DropTasks(group); err != nil {
+			rollbackRemoves(touched) // cannot happen: victims came from the registry
 			m.unreserveRemove(live, parked)
 			return fmt.Errorf("%w: %v", ErrRejected, err)
 		}
-		tc.prof, tc.minq, tc.patches = fresh, fresh.MinQ(m.p), 1
+		tc.group, tc.minq, tc.patches = group, tc.st.prof.MinQ(m.p), 1
 	}
 	if err := m.commit(touched, nil, live, parked); err != nil {
+		rollbackRemoves(touched)
 		m.unreserveRemove(live, parked)
 		return err // cannot happen: shrinking always fits; defensive
 	}
@@ -579,39 +627,73 @@ func (m *Manager) unreserveRemove(victims, parked task.Set) {
 	m.nameMu.Unlock()
 }
 
-// touchedChannel pairs a locked shard with the freshly patched profile
-// that will replace its committed one. patches counts the incremental
-// updates the candidate accumulated (partial admission sheds add more
-// than one), folded into the shard's consolidation counter on commit.
+// touchedChannel is a locked shard's working state for one
+// reconfiguration. The shard's profile is patched in place (thaw
+// makes it exclusive first), so the candidate is not a sibling profile
+// but the shard's own, with minq holding the candidate minimum the
+// decide step compares and group recording the tasks added or dropped
+// so a rejected candidate can be rolled back with the inverse patch.
+// patches counts the incremental updates the candidate accumulated
+// (partial admission sheds add more than one), folded into the shard's
+// consolidation counter on commit.
 type touchedChannel struct {
 	st      *channelState
-	prof    *analysis.Profile
 	minq    float64
 	patches int
+	// group holds the tasks this reconfiguration added to (or removed
+	// from) the shard's profile — the inverse patch of a rollback.
+	group task.Set
+	// patched reports the profile was mutated; fallback0 is its
+	// fallback count before the first mutation, for the
+	// EnvelopeFallback event detection in installProfiles.
+	patched   bool
+	fallback0 uint64
+}
+
+// thaw prepares the shard's profile for in-place patching: makes it
+// exclusive on first touch (the profiles installed at construction are
+// shared with the CompiledProblem and must not be mutated) and records
+// the pre-patch fallback baseline. Idempotent; caller holds st.mu.
+func (tc *touchedChannel) thaw() {
+	if !tc.patched {
+		tc.patched = true
+		tc.fallback0 = tc.st.prof.Fallbacks()
+	}
+	if !tc.st.prof.Exclusive() {
+		tc.st.prof = tc.st.prof.Thawed()
+	}
 }
 
 // lockChannels locks the shards the batch touches, in (mode, channel)
 // order so concurrent batches with overlapping footprints cannot
-// deadlock. The caller unlocks via unlockChannels.
-func (m *Manager) lockChannels(batch task.Set) []*touchedChannel {
-	seen := make(map[*channelState]bool, len(batch))
-	touched := make([]*touchedChannel, 0, len(batch))
+// deadlock, and seeds each candidate minimum with the committed one.
+// Dedup is a linear scan — batches touch a handful of channels, and a
+// map here allocates on the hottest path. The caller unlocks via
+// unlockChannels.
+func (m *Manager) lockChannels(batch task.Set) []touchedChannel {
+	touched := make([]touchedChannel, 0, len(batch))
+outer:
 	for _, t := range batch {
 		st := m.channels[t.Mode][t.Channel]
-		if !seen[st] {
-			seen[st] = true
-			touched = append(touched, &touchedChannel{st: st})
+		for i := range touched {
+			if touched[i].st == st {
+				continue outer
+			}
 		}
+		touched = append(touched, touchedChannel{st: st})
 	}
-	sort.Slice(touched, func(i, j int) bool {
-		a, b := touched[i].st, touched[j].st
-		if a.mode != b.mode {
-			return a.mode < b.mode
-		}
-		return a.ch < b.ch
-	})
-	for _, tc := range touched {
+	if len(touched) > 1 {
+		slices.SortFunc(touched, func(a, b touchedChannel) int {
+			if a.st.mode != b.st.mode {
+				return int(a.st.mode) - int(b.st.mode)
+			}
+			return a.st.ch - b.st.ch
+		})
+	}
+	for i := range touched {
+		tc := &touched[i]
 		tc.st.mu.Lock()
+		tc.minq = tc.st.minq
 	}
 	return touched
 }
@@ -620,20 +702,20 @@ func (m *Manager) lockChannels(batch task.Set) []*touchedChannel {
 // footprint Revoke and Restore need, consistent with lockChannels so
 // degrade operations and batches cannot deadlock. Each shard's
 // candidate starts at its committed profile.
-func (m *Manager) lockAll() []*touchedChannel {
-	var touched []*touchedChannel
+func (m *Manager) lockAll() []touchedChannel {
+	var touched []touchedChannel
 	for _, mode := range task.Modes() {
 		for _, st := range m.channels[mode] {
 			st.mu.Lock()
-			touched = append(touched, &touchedChannel{st: st, prof: st.prof, minq: st.minq})
+			touched = append(touched, touchedChannel{st: st, minq: st.minq})
 		}
 	}
 	return touched
 }
 
-func unlockChannels(touched []*touchedChannel) {
-	for _, tc := range touched {
-		tc.st.mu.Unlock()
+func unlockChannels(touched []touchedChannel) {
+	for i := range touched {
+		touched[i].st.mu.Unlock()
 	}
 }
 
@@ -642,18 +724,19 @@ func unlockChannels(touched []*touchedChannel) {
 // the cached per-channel minima (candidate values for the touched
 // channels), untouched modes keep their slots. It also reports each
 // recomputed mode's binding channel — the channel whose demand sizes
-// the slot — for overflow reporting. Caller holds commitMu and the
-// touched channels' locks.
-func (m *Manager) candidateLocked(touched []*touchedChannel) (next core.Config, modes []task.Mode, binding map[task.Mode]int) {
+// the slot — for overflow reporting. The touched/binding results are
+// fixed-size arrays indexed by mode so the per-commit cost is
+// allocation-free. Caller holds commitMu and the touched channels'
+// locks.
+func (m *Manager) candidateLocked(touched []touchedChannel) (next core.Config, reshaped [task.NumModes]bool, binding [task.NumModes]int) {
 	next = *m.cfg.Load()
 	for _, tc := range touched {
-		mode := tc.st.mode
-		if len(modes) == 0 || modes[len(modes)-1] != mode {
-			modes = append(modes, mode) // touched is mode-sorted
-		}
+		reshaped[tc.st.mode] = true
 	}
-	binding = make(map[task.Mode]int, len(modes))
-	for _, mode := range modes {
+	for _, mode := range task.Modes() {
+		if !reshaped[mode] {
+			continue
+		}
 		worst, bind := 0.0, 0
 		for ch, st := range m.channels[mode] {
 			q := st.minq
@@ -670,7 +753,7 @@ func (m *Manager) candidateLocked(touched []*touchedChannel) (next core.Config, 
 		next.Q = next.Q.With(mode, worst+m.over.Of(mode))
 		binding[mode] = bind
 	}
-	return next, modes, binding
+	return next, reshaped, binding
 }
 
 // fits reports whether the candidate slots fit the unrevoked capacity.
@@ -686,13 +769,13 @@ func (m *Manager) fits(next core.Config, deg *degradeState) bool {
 // swap. removedParked names leave the parked set and the registry
 // without profile work (their demand left when they were evicted). The
 // caller holds the touched channels' locks.
-func (m *Manager) commit(touched []*touchedChannel, added, removed, removedParked task.Set) error {
+func (m *Manager) commit(touched []touchedChannel, added, removed, removedParked task.Set) error {
 	m.commitMu.Lock()
 	defer m.commitMu.Unlock()
 	deg := m.deg.Load()
-	next, modes, binding := m.candidateLocked(touched)
+	next, reshaped, binding := m.candidateLocked(touched)
 	if !m.fits(next, deg) {
-		return m.rejectOverflow(next, modes, binding, deg, added)
+		return m.rejectOverflow(next, reshaped, binding, deg, added)
 	}
 	// Structural sanity before switching. The schedulability of the new
 	// configuration follows from the compiled inversion itself: each
@@ -712,7 +795,7 @@ func (m *Manager) commit(touched []*touchedChannel, added, removed, removedParke
 // profiles and minima, the live task snapshot, the configuration, the
 // parked set and the name registry. Caller holds commitMu and the
 // touched channels' locks.
-func (m *Manager) publishLocked(touched []*touchedChannel, added, removed, removedParked task.Set, next core.Config, deg *degradeState) {
+func (m *Manager) publishLocked(touched []touchedChannel, added, removed, removedParked task.Set, next core.Config, deg *degradeState) {
 	m.installProfiles(touched)
 	old := *m.live.Load()
 	live := make(task.Set, 0, len(old)+len(added))
@@ -752,9 +835,12 @@ func (m *Manager) publishLocked(touched []*touchedChannel, added, removed, remov
 // minus the slots held by the other modes (admissible within
 // core.SlotFitTol) — plus the binding channel and a verdict for every
 // batch member of the all-or-nothing batch.
-func (m *Manager) rejectOverflow(next core.Config, modes []task.Mode, binding map[task.Mode]int, deg *degradeState, batch task.Set) error {
+func (m *Manager) rejectOverflow(next core.Config, reshaped [task.NumModes]bool, binding [task.NumModes]int, deg *degradeState, batch task.Set) error {
 	rej := &Rejection{}
-	for _, mode := range modes {
+	for _, mode := range task.Modes() {
+		if !reshaped[mode] {
+			continue
+		}
 		need := next.Q.Of(mode)
 		rej.Overflows = append(rej.Overflows, SlotOverflow{
 			Mode:      mode,
@@ -771,18 +857,20 @@ func (m *Manager) rejectOverflow(next core.Config, modes []task.Mode, binding ma
 	return rej
 }
 
-// installProfiles swaps each touched shard's candidate profile in and
-// folds the accumulated patch counters. A channel whose incremental
-// lineage bailed to a full recompile during this reconfiguration (a
-// hyperperiod change, or a violated stream invariant) is reported to
-// the event sink as a trace.EnvelopeFallback. The caller holds the
-// channel locks (and, on batch paths, commitMu).
-func (m *Manager) installProfiles(touched []*touchedChannel) {
+// installProfiles commits each touched shard's candidate minimum and
+// folds the accumulated patch counters (the profiles themselves were
+// already patched in place under the channel locks). A channel whose
+// incremental lineage bailed to a full recompile during this
+// reconfiguration (a hyperperiod change, or a violated stream
+// invariant) is reported to the event sink as a trace.EnvelopeFallback
+// — detected against the fallback count thaw recorded before the first
+// patch. The caller holds the channel locks (and, on batch paths,
+// commitMu).
+func (m *Manager) installProfiles(touched []touchedChannel) {
 	for _, tc := range touched {
-		if tc.prof != nil && tc.st.prof != nil && tc.prof.Fallbacks() > tc.st.prof.Fallbacks() {
+		if tc.patched && tc.st.prof.Fallbacks() > tc.fallback0 {
 			m.emit(Event{Kind: trace.EnvelopeFallback, Mode: tc.st.mode, Channel: tc.st.ch, Revoked: m.deg.Load().revoked})
 		}
-		tc.st.prof = tc.prof
 		tc.st.minq = tc.minq
 		tc.st.patches += tc.patches
 	}
@@ -825,7 +913,7 @@ func (m *Manager) SetConsolidateEvery(n int) {
 // caches (minq) are unchanged — the rebuild is bit-identical by the
 // compile properties, it only re-homes the retained streams into
 // compact backing arrays.
-func (m *Manager) maybeConsolidate(touched []*touchedChannel) {
+func (m *Manager) maybeConsolidate(touched []touchedChannel) {
 	every := int(m.consolidateEvery.Load())
 	ratio := math.Float64frombits(m.consolidateRatio.Load())
 	if every <= 0 && ratio <= 0 {
@@ -875,7 +963,7 @@ func (m *Manager) consolidateLocked(st *channelState) bool {
 	if st.patches == 0 {
 		return false
 	}
-	fresh, err := analysis.Compile(st.prof.Tasks(), m.alg)
+	fresh, err := analysis.CompileMutable(st.prof.Tasks(), m.alg)
 	if err != nil {
 		return false
 	}

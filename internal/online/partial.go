@@ -125,13 +125,19 @@ func (m *Manager) AdmitBatchPartial(batch []task.Task, pol Policy) (*AdmitReport
 	}
 	touched := m.lockChannels(reserved)
 	defer unlockChannels(touched)
-	for _, tc := range touched {
-		fresh, err := tc.st.prof.WithTasks(reserved.ByChannel(tc.st.mode, tc.st.ch))
-		if err != nil {
+	for i := range touched {
+		tc := &touched[i]
+		group := reserved
+		if len(touched) > 1 {
+			group = reserved.ByChannel(tc.st.mode, tc.st.ch)
+		}
+		tc.thaw()
+		if err := tc.st.prof.AddTasks(group); err != nil {
+			rollbackAdmits(touched)
 			m.unreserveAdmit(reserved)
 			return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 		}
-		tc.prof, tc.minq, tc.patches = fresh, fresh.MinQ(m.p), 1
+		tc.group, tc.minq, tc.patches = group, tc.st.prof.MinQ(m.p), 1
 	}
 	admitted, shed, overflows := m.commitPartial(touched, reserved, pol)
 	report.Admitted = admitted
@@ -174,9 +180,9 @@ func (m *Manager) reservePartial(batch task.Set) (reserved task.Set, conflicts [
 }
 
 // findTouched returns the locked shard candidate holding t's channel.
-func findTouched(touched []*touchedChannel, t task.Task) *touchedChannel {
-	for _, tc := range touched {
-		if tc.st.mode == t.Mode && tc.st.ch == t.Channel {
+func findTouched(touched []touchedChannel, t task.Task) *touchedChannel {
+	for i := range touched {
+		if tc := &touched[i]; tc.st.mode == t.Mode && tc.st.ch == t.Channel {
 			return tc
 		}
 	}
@@ -191,19 +197,22 @@ func findTouched(touched []*touchedChannel, t task.Task) *touchedChannel {
 // admitted set is greedy-maximal under the policy order. Publishes the
 // surviving configuration unless everything was shed. Caller holds the
 // touched channels' locks and unreserves the shed names afterwards.
-func (m *Manager) commitPartial(touched []*touchedChannel, reserved task.Set, pol Policy) (admitted task.Set, shed task.Set, overflows []SlotOverflow) {
+func (m *Manager) commitPartial(touched []touchedChannel, reserved task.Set, pol Policy) (admitted task.Set, shed task.Set, overflows []SlotOverflow) {
 	m.commitMu.Lock()
 	defer m.commitMu.Unlock()
 	deg := m.deg.Load()
 	remaining := append(task.Set(nil), reserved...)
 	for {
-		next, modes, binding := m.candidateLocked(touched)
+		next, reshaped, binding := m.candidateLocked(touched)
 		if m.fits(next, deg) {
 			break
 		}
 		if overflows == nil {
 			// Snapshot the pre-shedding overflow for the report.
-			for _, mode := range modes {
+			for _, mode := range task.Modes() {
+				if !reshaped[mode] {
+					continue
+				}
 				need := next.Q.Of(mode)
 				overflows = append(overflows, SlotOverflow{
 					Mode:      mode,
@@ -217,7 +226,8 @@ func (m *Manager) commitPartial(touched []*touchedChannel, reserved task.Set, po
 		}
 		if len(remaining) == 0 {
 			// Cannot happen: with every batch member shed the candidate
-			// equals the committed state, which fits by invariant.
+			// equals the committed state, which fits by invariant. (The
+			// inverse patches below restored the profiles along the way.)
 			return nil, shed, overflows
 		}
 		victim := 0
@@ -229,13 +239,12 @@ func (m *Manager) commitPartial(touched []*touchedChannel, reserved task.Set, po
 		t := remaining[victim]
 		remaining = append(remaining[:victim], remaining[victim+1:]...)
 		tc := findTouched(touched, t)
-		fresh, err := tc.prof.WithoutTasks(task.Set{t})
-		if err != nil {
+		if err := tc.st.prof.DropTasks(task.Set{t}); err != nil {
 			// Cannot happen: t was patched in above. Shed it anyway.
 			shed = append(shed, t)
 			continue
 		}
-		tc.prof, tc.minq = fresh, fresh.MinQ(m.p)
+		tc.minq = tc.st.prof.MinQ(m.p)
 		tc.patches++
 		shed = append(shed, t)
 	}
@@ -246,18 +255,20 @@ func (m *Manager) commitPartial(touched []*touchedChannel, reserved task.Set, po
 		kept := shed[:0]
 		for _, t := range shed {
 			tc := findTouched(touched, t)
-			trial, err := tc.prof.WithTasks(task.Set{t})
-			if err != nil {
+			if err := tc.st.prof.AddTasks(task.Set{t}); err != nil {
 				kept = append(kept, t)
 				continue
 			}
-			oldProf, oldMinq := tc.prof, tc.minq
-			tc.prof, tc.minq = trial, trial.MinQ(m.p)
+			oldMinq := tc.minq
+			tc.minq = tc.st.prof.MinQ(m.p)
 			if next, _, _ := m.candidateLocked(touched); m.fits(next, deg) {
 				tc.patches++
 				remaining = append(remaining, t)
 			} else {
-				tc.prof, tc.minq = oldProf, oldMinq
+				// The trial does not fit: the inverse patch restores the
+				// profile bit for bit.
+				_ = tc.st.prof.DropTasks(task.Set{t})
+				tc.minq = oldMinq
 				kept = append(kept, t)
 			}
 		}

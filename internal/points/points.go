@@ -166,14 +166,24 @@ func TaskDeadlines(t task.Task, horizon float64) []float64 {
 	if t.D <= horizon {
 		n = int(math.Max(0, (horizon-t.D)/t.T)) + 1
 	}
-	out := make([]float64, 0, n)
+	return AppendTaskDeadlines(make([]float64, 0, n), t, horizon)
+}
+
+// AppendTaskDeadlines appends the task's deadline stream (the exact
+// values TaskDeadlines returns) to dst and returns the extended slice.
+// It lets allocation-free callers generate the stream into a recycled
+// buffer.
+func AppendTaskDeadlines(dst []float64, t task.Task, horizon float64) []float64 {
+	if t.T <= 0 {
+		return dst
+	}
 	for k := 0; ; k++ {
 		dl := float64(k)*t.T + t.D
 		if dl > horizon {
-			return out
+			return dst
 		}
 		if dl > 0 {
-			out = append(out, dl)
+			dst = append(dst, dl)
 		}
 	}
 }
@@ -182,6 +192,13 @@ func TaskDeadlines(t task.Task, horizon float64) []float64 {
 // dropping exact duplicates. Neither input is modified.
 func MergeUnique(a, b []float64) []float64 {
 	return mergeSortedUnique(a, b, nil)
+}
+
+// MergeUniqueInto is MergeUnique with a caller-recycled destination:
+// dst must be empty (length zero) and must not alias a or b; its backing
+// array is reused when large enough.
+func MergeUniqueInto(a, b, dst []float64) []float64 {
+	return mergeSortedUnique(a, b, dst)
 }
 
 // DenseGrid returns points {step, 2·step, …} up to and including horizon

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/analysis"
@@ -31,20 +30,78 @@ type releaseEntry struct {
 
 // releaseHeap is a min-heap of pending releases ordered by time, then
 // by task registration index — exactly the order the linear scan
-// releases equal-time jobs in, so the two paths are bit-identical.
+// releases equal-time jobs in, so the two paths are bit-identical. The
+// sift operations are concrete copies of container/heap's algorithm
+// (same moves, no interface boxing).
 type releaseHeap []releaseEntry
 
-func (h releaseHeap) Len() int { return len(h) }
-func (h releaseHeap) Less(i, j int) bool {
+func (h releaseHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].idx < h[j].idx
 }
-func (h releaseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *releaseHeap) Push(x any)        { *h = append(*h, x.(releaseEntry)) }
-func (h *releaseHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h releaseHeap) min() timeu.Ticks   { return h[0].at }
+
+func (h releaseHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h releaseHeap) down(i0, n int) bool {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return i > i0
+}
+
+func (h *releaseHeap) push(e releaseEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *releaseHeap) pop() releaseEntry {
+	old := *h
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	e := old[n]
+	*h = old[:n]
+	return e
+}
+
+// remove deletes the entry at position i, container/heap.Remove style.
+func (h *releaseHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	if n != i {
+		old[i], old[n] = old[n], old[i]
+		if !old.down(i, n) {
+			old.up(i)
+		}
+	}
+	*h = old[:n]
+}
+
+func (h releaseHeap) min() timeu.Ticks { return h[0].at }
 
 // engine simulates one channel: periodic job releases (synchronous
 // pattern, offset at the task's residency start — the worst case the
@@ -81,6 +138,21 @@ type engine struct {
 	svcIdx     int
 	corruptIdx int
 
+	// Epoch provisioning scratch, reused across reshapes. serviceFor and
+	// corruptFor build each epoch's windows in these; the results stay
+	// valid until the next provisioning, the exact lifetime an epoch
+	// needs. svcBuf and corruptBuf back the installed service/corrupt
+	// slices; winBuf and faultBuf are intermediates.
+	svcBuf     []interval
+	winBuf     []interval
+	corruptBuf []interval
+	faultBuf   []interval
+
+	// freeJobs recycles Job records: a job never outlives its terminal
+	// event (complete, abort, cancel), so the steady state re-releases
+	// from the pool instead of allocating per release.
+	freeJobs []*Job
+
 	// period is the slot-cycle period; excuses are the instants of
 	// non-covering reshapes (see provision). Both stay zero in a
 	// static run.
@@ -103,6 +175,22 @@ func newEngine(id ChannelID, alg analysis.Alg, horizon timeu.Ticks, rec Recovery
 		byName:   make(map[string]int),
 		stats:    newChannelResult(id, log),
 	}
+}
+
+// freeJob returns a finished job record to the pool. The caller must be
+// done with every field — the record is reused wholesale by the next
+// release.
+func (e *engine) freeJob(j *Job) { e.freeJobs = append(e.freeJobs, j) }
+
+// newJob produces a zeroed job record, recycling the pool when it can.
+func (e *engine) newJob() *Job {
+	if n := len(e.freeJobs); n > 0 {
+		j := e.freeJobs[n-1]
+		e.freeJobs = e.freeJobs[:n-1]
+		*j = Job{}
+		return j
+	}
+	return &Job{}
 }
 
 // provision starts a new epoch at `from`: installs the epoch's service
@@ -192,7 +280,7 @@ func (e *engine) register(t task.Task, from timeu.Ticks) error {
 		e.byName[t.Name] = idx
 	}
 	if !e.linearReleases && from < e.horizon {
-		heap.Push(&e.releases, releaseEntry{at: from, idx: idx})
+		e.releases.push(releaseEntry{at: from, idx: idx})
 	}
 	return nil
 }
@@ -208,7 +296,7 @@ func (e *engine) retire(idx int, at timeu.Ticks) {
 	if !e.linearReleases {
 		for i, ent := range e.releases {
 			if ent.idx == idx {
-				heap.Remove(&e.releases, i)
+				e.releases.remove(i)
 				break
 			}
 		}
@@ -220,17 +308,19 @@ func (e *engine) retire(idx int, at timeu.Ticks) {
 			// but is at least at-Deadline; classify on that lower bound.
 			if e.transitionExcused(j, at-j.Deadline) {
 				ts.TransitionLate++
+				e.stats.recordLate(at-j.Deadline, e.period)
 				e.log.Add(trace.Event{At: at, Kind: trace.Miss, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1,
 					Detail: "unfinished at departure (transition-late)"})
-				continue
+			} else {
+				ts.Missed++
+				e.log.Add(trace.Event{At: at, Kind: trace.Miss, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1,
+					Detail: "unfinished at departure"})
 			}
-			ts.Missed++
-			e.log.Add(trace.Event{At: at, Kind: trace.Miss, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1,
-				Detail: "unfinished at departure"})
 		} else {
 			ts.Cancelled++
 			e.log.Add(trace.Event{At: at, Kind: trace.Cancelled, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1})
 		}
+		e.freeJob(j)
 	}
 	e.stats.residencies[et.res].To = at
 }
@@ -300,7 +390,7 @@ func (e *engine) releaseDue(now timeu.Ticks) {
 		return
 	}
 	for len(e.releases) > 0 && e.releases.min() <= now {
-		ent := heap.Pop(&e.releases).(releaseEntry)
+		ent := e.releases.pop()
 		e.releaseJob(ent.idx, ent.at)
 	}
 }
@@ -309,21 +399,20 @@ func (e *engine) releaseDue(now timeu.Ticks) {
 func (e *engine) releaseJob(idx int, rel timeu.Ticks) {
 	et := &e.tasks[idx]
 	e.seq++
-	j := &Job{
-		TaskName:  et.name,
-		TaskIndex: idx,
-		Release:   rel,
-		Deadline:  rel + et.deadline,
-		Total:     et.wcet,
-		Remaining: et.wcet,
-		seq:       e.seq,
-	}
+	j := e.newJob()
+	j.TaskName = et.name
+	j.TaskIndex = idx
+	j.Release = rel
+	j.Deadline = rel + et.deadline
+	j.Total = et.wcet
+	j.Remaining = et.wcet
+	j.seq = e.seq
 	e.queue.push(j)
 	e.taskStats(idx).Released++
 	e.log.Add(trace.Event{At: rel, Kind: trace.Release, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1})
 	et.nextRelease = rel + et.period
 	if !e.linearReleases && et.nextRelease < e.horizon {
-		heap.Push(&e.releases, releaseEntry{at: et.nextRelease, idx: idx})
+		e.releases.push(releaseEntry{at: et.nextRelease, idx: idx})
 	}
 }
 
@@ -395,6 +484,7 @@ func (e *engine) complete(j *Job, now timeu.Ticks) {
 	if now > j.Deadline {
 		if late := now - j.Deadline; e.transitionExcused(j, late) {
 			ts.TransitionLate++
+			e.stats.recordLate(late, e.period)
 			e.log.Add(trace.Event{At: now, Kind: trace.Miss, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1,
 				Detail: fmt.Sprintf("transition-late by %s", late)})
 		} else {
@@ -402,9 +492,11 @@ func (e *engine) complete(j *Job, now timeu.Ticks) {
 			e.log.Add(trace.Event{At: now, Kind: trace.Miss, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1,
 				Detail: fmt.Sprintf("late by %s", late)})
 		}
+		e.freeJob(j)
 		return
 	}
 	e.log.Add(trace.Event{At: now, Kind: trace.Complete, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1})
+	e.freeJob(j)
 }
 
 // abort kills the job running when a fail-silent shutdown hits, then
@@ -416,15 +508,21 @@ func (e *engine) abort(j *Job, now timeu.Ticks) {
 	e.stats.Silenced++
 	e.log.Add(trace.Event{At: now, Kind: trace.Abort, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1})
 	if e.recovery == nil {
+		e.freeJob(j)
 		return
 	}
 	if re, ok := e.recovery.OnAbort(*j, now); ok {
 		e.seq++
 		re.seq = e.seq
 		re.heapIndex = 0
-		e.queue.push(&re)
+		// Recycle the aborted record to carry the re-issued job: the
+		// policy received a copy, so nothing aliases j any more.
+		*j = re
+		e.queue.push(j)
 		ts.Recovered++
+		return
 	}
+	e.freeJob(j)
 }
 
 // finish accounts jobs still pending at the horizon: any with a deadline
@@ -438,6 +536,7 @@ func (e *engine) finish() *channelResult {
 			ts := e.taskStats(j.TaskIndex)
 			if e.transitionExcused(j, e.horizon-j.Deadline) {
 				ts.TransitionLate++
+				e.stats.recordLate(e.horizon-j.Deadline, e.period)
 				e.log.Add(trace.Event{At: j.Deadline, Kind: trace.Miss, Task: j.TaskName, Mode: e.id.Mode, Channel: e.id.Ch, Core: -1,
 					Detail: "unfinished at horizon (transition-late)"})
 				continue

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"container/heap"
-
 	"repro/internal/analysis"
 	"repro/internal/task"
 )
@@ -21,10 +19,19 @@ type queueKey struct {
 // compare the static task keys; EDF compares absolute deadlines. Ties
 // break on release time, then on an insertion sequence number, so
 // dispatch is fully deterministic.
+//
+// The heap operations are concrete (no container/heap) to keep the
+// dispatch hot path free of interface boxing, but they reproduce
+// container/heap's sift algorithm move for move, so the element order —
+// and therefore every tie-broken dispatch decision — is bit-identical
+// to the boxed implementation the linear-scan oracle test was written
+// against.
 type jobQueue struct {
 	alg  analysis.Alg
 	keys []queueKey // one per registered task index, append-only
 	jobs []*Job
+
+	victims []*Job // removeTask scratch, reused across reshapes
 }
 
 // newJobQueue builds the queue for a channel's initial task list; later
@@ -87,42 +94,64 @@ func (q *jobQueue) higher(a, b *Job) bool {
 	return a.seq < b.seq
 }
 
-// heap.Interface implementation.
+func (q *jobQueue) less(i, j int) bool { return q.higher(q.jobs[i], q.jobs[j]) }
 
-func (q *jobQueue) Len() int           { return len(q.jobs) }
-func (q *jobQueue) Less(i, j int) bool { return q.higher(q.jobs[i], q.jobs[j]) }
-func (q *jobQueue) Swap(i, j int) {
+func (q *jobQueue) swap(i, j int) {
 	q.jobs[i], q.jobs[j] = q.jobs[j], q.jobs[i]
 	q.jobs[i].heapIndex = i
 	q.jobs[j].heapIndex = j
 }
 
-// Push appends x (heap.Push protocol; use push instead).
-func (q *jobQueue) Push(x any) {
-	j := x.(*Job)
-	j.heapIndex = len(q.jobs)
-	q.jobs = append(q.jobs, j)
+func (q *jobQueue) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !q.less(j, i) {
+			break
+		}
+		q.swap(i, j)
+		j = i
+	}
 }
 
-// Pop removes the last element (heap.Pop protocol; use pop instead).
-func (q *jobQueue) Pop() any {
-	old := q.jobs
-	n := len(old)
-	j := old[n-1]
-	old[n-1] = nil
-	q.jobs = old[:n-1]
-	return j
+func (q *jobQueue) down(i0, n int) bool {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && q.less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q.swap(i, j)
+		i = j
+	}
+	return i > i0
 }
 
 // push enqueues a ready job.
-func (q *jobQueue) push(j *Job) { heap.Push(q, j) }
+func (q *jobQueue) push(j *Job) {
+	j.heapIndex = len(q.jobs)
+	q.jobs = append(q.jobs, j)
+	q.up(len(q.jobs) - 1)
+}
 
 // pop dequeues the highest-priority job; nil when empty.
 func (q *jobQueue) pop() *Job {
 	if len(q.jobs) == 0 {
 		return nil
 	}
-	return heap.Pop(q).(*Job)
+	n := len(q.jobs) - 1
+	q.swap(0, n)
+	q.down(0, n)
+	j := q.jobs[n]
+	q.jobs[n] = nil
+	q.jobs = q.jobs[:n]
+	return j
 }
 
 // peek returns the highest-priority job without removing it.
@@ -133,20 +162,37 @@ func (q *jobQueue) peek() *Job {
 	return q.jobs[0]
 }
 
-// removeTask withdraws every pending job of the given task index and
-// returns them (in no particular order) — the cancellation path when a
-// task leaves the channel at a reshape boundary.
-func (q *jobQueue) removeTask(idx int) []*Job {
-	var victims []*Job
-	for _, j := range q.jobs {
-		if j.TaskIndex == idx {
-			victims = append(victims, j)
+// removeAt removes and returns the job at heap position i.
+func (q *jobQueue) removeAt(i int) *Job {
+	n := len(q.jobs) - 1
+	if n != i {
+		q.swap(i, n)
+		if !q.down(i, n) {
+			q.up(i)
 		}
 	}
-	for _, j := range victims {
-		heap.Remove(q, j.heapIndex)
+	j := q.jobs[n]
+	q.jobs[n] = nil
+	q.jobs = q.jobs[:n]
+	return j
+}
+
+// removeTask withdraws every pending job of the given task index and
+// returns them (in no particular order) — the cancellation path when a
+// task leaves the channel at a reshape boundary. The returned slice
+// aliases the queue's scratch buffer and is valid until the next
+// removeTask call.
+func (q *jobQueue) removeTask(idx int) []*Job {
+	q.victims = q.victims[:0]
+	for _, j := range q.jobs {
+		if j.TaskIndex == idx {
+			q.victims = append(q.victims, j)
+		}
 	}
-	return victims
+	for _, j := range q.victims {
+		q.removeAt(j.heapIndex)
+	}
+	return q.victims
 }
 
 // drain empties the queue, returning the jobs in priority order.

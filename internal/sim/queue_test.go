@@ -75,7 +75,7 @@ func TestJobQueueDrainSorted(t *testing.T) {
 			t.Fatal("drain must return priority order")
 		}
 	}
-	if q.Len() != 0 {
+	if len(q.jobs) != 0 {
 		t.Error("queue should be empty after drain")
 	}
 }

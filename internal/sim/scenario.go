@@ -417,8 +417,8 @@ func Replay(m *online.Manager, sc Scenario, opts ScenarioOptions) (*ScenarioResu
 		eng.linearReleases = opts.linearReleases
 		eng.period = period
 		for i, ep := range epochs {
-			svc := serviceFor(ep.spec, id, schedule, ep.from, ep.to)
-			corrupt := corruptFor(ep.spec, id, schedule, ep.from, ep.to)
+			svc := eng.serviceFor(ep.spec, schedule, ep.from, ep.to)
+			corrupt := eng.corruptFor(ep.spec, schedule, ep.from, ep.to)
 			leaves := ep.leaves.ByChannel(id.Mode, id.Ch)
 			joins := ep.joins.ByChannel(id.Mode, id.Ch)
 			// A reshape perturbs this channel when the mode's new
@@ -461,14 +461,9 @@ func Replay(m *online.Manager, sc Scenario, opts ScenarioOptions) (*ScenarioResu
 		return a.Task.Name < b.Task.Name
 	})
 
-	usable := make(map[task.Mode][]interval, task.NumModes)
-	overhead := make(map[task.Mode][]interval, task.NumModes)
+	var usable, overhead modeIntervals
 	for _, ep := range epochs {
-		u, o := platformWindows(ep.spec, ep.from, ep.to)
-		for _, md := range task.Modes() {
-			usable[md] = append(usable[md], u[md]...)
-			overhead[md] = append(overhead[md], o[md]...)
-		}
+		appendPlatformWindows(&usable, &overhead, ep.spec, ep.from, ep.to)
 	}
 	res.accountFaults(schedule, usable)
 	res.accountPlatform(usable, overhead, horizon)
@@ -557,7 +552,22 @@ func coversOffsets(old, new []interval) bool {
 // another). Unnamed tasks are permanent residents: the manager cannot
 // remove them, so they never diff.
 func diffByName(prev, cur task.Set) (joined, left task.Set) {
-	pm := map[string]task.Task{}
+	// Events touch few tasks, so the two live sets almost always share a
+	// long unchanged prefix and suffix. Names are unique within a live
+	// set, so an element equal in both (same name included) can appear
+	// nowhere else in either set and contributes nothing to the diff —
+	// trimming it is exact, and the name-map pass runs only over the
+	// changed middle.
+	for len(prev) > 0 && len(cur) > 0 && prev[0] == cur[0] {
+		prev, cur = prev[1:], cur[1:]
+	}
+	for len(prev) > 0 && len(cur) > 0 && prev[len(prev)-1] == cur[len(cur)-1] {
+		prev, cur = prev[:len(prev)-1], cur[:len(cur)-1]
+	}
+	if len(prev) == 0 && len(cur) == 0 {
+		return nil, nil
+	}
+	pm := make(map[string]task.Task, len(prev))
 	for _, t := range prev {
 		if t.Name != "" {
 			pm[t.Name] = t

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	in := &ScenarioFile{
+		HorizonUnits:  120,
+		SettlePeriods: -1,
+		Scenario: Scenario{Events: []WorkloadEvent{
+			{At: timeu.FromUnits(5), Kind: EventAdmit, Tasks: task.Set{
+				{Name: "g1", C: 0.05, T: 8, D: 8, Mode: task.NF, Channel: 2},
+			}},
+			{At: timeu.FromUnits(10.25), Kind: EventAdmitPartial, Tasks: task.Set{
+				{Name: "g2", C: 0.1, T: 12, D: 10, Mode: task.FS, Channel: 1},
+			}},
+			{At: timeu.FromUnits(20), Kind: EventRemove, Names: []string{"g1"}},
+			{At: timeu.FromUnits(30), Kind: EventRevoke, Capacity: 0.25},
+			{At: timeu.FromUnits(40), Kind: EventRestore, Capacity: 0.25},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadScenario(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.HorizonUnits != in.HorizonUnits || out.SettlePeriods != in.SettlePeriods {
+		t.Fatalf("header mismatch: %+v vs %+v", out, in)
+	}
+	if len(out.Scenario.Events) != len(in.Scenario.Events) {
+		t.Fatalf("event count %d, want %d", len(out.Scenario.Events), len(in.Scenario.Events))
+	}
+	for i, got := range out.Scenario.Events {
+		want := in.Scenario.Events[i]
+		if got.At != want.At || got.Kind != want.Kind || got.Capacity != want.Capacity {
+			t.Errorf("event %d: got %+v want %+v", i, got, want)
+		}
+		if len(got.Tasks) != len(want.Tasks) || len(got.Names) != len(want.Names) {
+			t.Errorf("event %d: payload size mismatch", i)
+			continue
+		}
+		for j := range got.Tasks {
+			if got.Tasks[j] != want.Tasks[j] {
+				t.Errorf("event %d task %d: got %+v want %+v", i, j, got.Tasks[j], want.Tasks[j])
+			}
+		}
+	}
+}
+
+func TestScenarioJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"unknown kind":    `{"events":[{"at":1,"kind":"explode"}]}`,
+		"negative at":     `{"events":[{"at":-1,"kind":"remove","names":["a"]}]}`,
+		"admit no tasks":  `{"events":[{"at":1,"kind":"admit"}]}`,
+		"remove no names": `{"events":[{"at":1,"kind":"remove"}]}`,
+		"revoke zero":     `{"events":[{"at":1,"kind":"revoke"}]}`,
+		"unknown field":   `{"events":[{"at":1,"kind":"remove","names":["a"],"bogus":1}]}`,
+	}
+	for name, src := range cases {
+		if _, err := ReadScenario(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %s", name, src)
+		}
+	}
+}

@@ -31,7 +31,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/analysis"
@@ -142,11 +142,7 @@ func NewWindows(p float64, usable, overhead map[task.Mode][][2]float64, tasks ta
 	if p <= 0 {
 		return nil, fmt.Errorf("sim: period %g must be positive", p)
 	}
-	spec := windowSpec{
-		period:   timeu.FromUnits(p),
-		usable:   make(map[task.Mode][]interval, task.NumModes),
-		overhead: make(map[task.Mode][]interval, task.NumModes),
-	}
+	spec := windowSpec{period: timeu.FromUnits(p)}
 	convert := func(src [][2]float64, widen bool) ([]interval, error) {
 		var out []interval
 		for _, w := range src {
@@ -276,7 +272,8 @@ func (s *Simulator) Run(opts Options) (*Result, error) {
 	for _, cr := range results {
 		res.merge(cr)
 	}
-	usable, overhead := platformWindows(s.spec, 0, horizon)
+	var usable, overhead modeIntervals
+	appendPlatformWindows(&usable, &overhead, s.spec, 0, horizon)
 	res.accountFaults(schedule, usable)
 	res.accountPlatform(usable, overhead, horizon)
 	res.TotalFaults = len(schedule)
@@ -287,11 +284,11 @@ func (s *Simulator) Run(opts Options) (*Result, error) {
 // runChannel simulates one channel end to end: a single epoch spanning
 // the whole horizon.
 func (s *Simulator) runChannel(id ChannelID, tasks task.Set, schedule []faults.Fault, horizon timeu.Ticks, opts Options) (*channelResult, error) {
-	svc := serviceFor(s.spec, id, schedule, 0, horizon)
-	corrupt := corruptFor(s.spec, id, schedule, 0, horizon)
 	eng := newEngine(id, s.alg, horizon, opts.Recovery, opts.newEngineLog())
 	eng.linearReleases = opts.linearReleases
 	eng.period = s.spec.period
+	svc := eng.serviceFor(s.spec, schedule, 0, horizon)
+	corrupt := eng.corruptFor(s.spec, schedule, 0, horizon)
 	if err := eng.provision(0, svc, corrupt, nil, tasks, false); err != nil {
 		return nil, err
 	}
@@ -320,7 +317,16 @@ func (iv interval) length() timeu.Ticks { return iv.To - iv.From }
 // intersects reports whether [a, b) overlaps iv.
 func (iv interval) intersects(a, b timeu.Ticks) bool { return iv.From < b && a < iv.To }
 
-// sortIntervals orders intervals by start time.
+// sortIntervals orders intervals by start time. slices.SortFunc keeps
+// the hot window paths free of sort.Slice's reflection-based swapper.
 func sortIntervals(ivs []interval) {
-	sort.Slice(ivs, func(i, j int) bool { return ivs[i].From < ivs[j].From })
+	slices.SortFunc(ivs, func(a, b interval) int {
+		switch {
+		case a.From < b.From:
+			return -1
+		case a.From > b.From:
+			return 1
+		}
+		return 0
+	})
 }

@@ -89,6 +89,84 @@ type ChannelStats struct {
 	Silenced int
 	// Corruptions counts jobs first marked corrupted on this channel.
 	Corruptions int
+	// TransitionLateness distributes the lateness of this channel's
+	// transition-late jobs.
+	TransitionLateness LatenessHistogram
+}
+
+// latenessBuckets is the histogram resolution: tenths of a slot-cycle
+// period. The transition bound is one period per non-covering reshape,
+// so most mass should sit in the first ten buckets; the last bucket
+// collects everything at or beyond (latenessBuckets-1)/10 periods.
+const latenessBuckets = 20
+
+// LatenessHistogram distributes transition-late job lateness in units
+// of the slot-cycle period — the natural scale, since the paper's
+// mode-change bound is one period of displaced backlog per
+// non-covering reshape. Bucket i counts jobs late by
+// [i/10, (i+1)/10) periods; the final bucket is open-ended.
+type LatenessHistogram struct {
+	// Count is the number of transition-late jobs observed.
+	Count int
+	// Sum and Max aggregate the lateness in ticks.
+	Sum, Max timeu.Ticks
+	// Buckets holds the distribution in tenths of a period.
+	Buckets [latenessBuckets]int
+}
+
+func (h *LatenessHistogram) observe(late, period timeu.Ticks) {
+	h.Count++
+	h.Sum += late
+	if late > h.Max {
+		h.Max = late
+	}
+	b := latenessBuckets - 1
+	if period > 0 {
+		if i := int(late * 10 / period); i < b {
+			b = i
+		}
+	}
+	h.Buckets[b]++
+}
+
+func (h *LatenessHistogram) merge(src *LatenessHistogram) {
+	h.Count += src.Count
+	h.Sum += src.Sum
+	if src.Max > h.Max {
+		h.Max = src.Max
+	}
+	for i, n := range src.Buckets {
+		h.Buckets[i] += n
+	}
+}
+
+// Mean returns the mean lateness of the observed jobs in ticks.
+func (h *LatenessHistogram) Mean() timeu.Ticks {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / timeu.Ticks(h.Count)
+}
+
+// String renders the occupied buckets, one per line, lateness expressed
+// in slot-cycle periods ("P").
+func (h *LatenessHistogram) String() string {
+	if h.Count == 0 {
+		return "no transition-late jobs"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d transition-late jobs, mean %s, max %s", h.Count, h.Mean(), h.Max)
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if i == latenessBuckets-1 {
+			fmt.Fprintf(&b, "\n  [%.1fP, ∞):  %d", float64(i)/10, n)
+		} else {
+			fmt.Fprintf(&b, "\n  [%.1fP, %.1fP): %d", float64(i)/10, float64(i+1)/10, n)
+		}
+	}
+	return b.String()
 }
 
 // channelResult is the per-channel piece produced by the engine.
@@ -101,6 +179,12 @@ type channelResult struct {
 
 func newChannelResult(id ChannelID, log *trace.Log) *channelResult {
 	return &channelResult{id: id, log: log}
+}
+
+// recordLate adds one transition-late observation to the channel's
+// lateness histogram.
+func (cr *channelResult) recordLate(late, period timeu.Ticks) {
+	cr.TransitionLateness.observe(late, period)
 }
 
 // Result is the aggregated outcome of a simulation run.
@@ -131,6 +215,10 @@ type Result struct {
 	// SlackTime is the horizon minus windows and overheads: the
 	// unallocated region of each period (plus partial-period remainder).
 	SlackTime timeu.Ticks
+	// TransitionLateness distributes the lateness of transition-late
+	// jobs across all channels, in tenths of a slot-cycle period. Its
+	// Count equals TotalTransitionLate().
+	TransitionLateness LatenessHistogram
 	// Trace is non-nil when Options.CollectTrace was set. With
 	// Options.MaxTraceEvents > 0 it is bounded: the earliest events and
 	// segments are retained and Trace.DroppedEvents/DroppedSegments
@@ -141,7 +229,7 @@ type Result struct {
 // accountPlatform fills the platform-time ledger from explicit per-mode
 // usable and overhead windows: per-mode usable service, overhead time,
 // and the residual slack. The three always sum to the horizon.
-func (r *Result) accountPlatform(usable, overhead map[task.Mode][]interval, horizon timeu.Ticks) {
+func (r *Result) accountPlatform(usable, overhead modeIntervals, horizon timeu.Ticks) {
 	r.ModeService = make(map[task.Mode]timeu.Ticks, task.NumModes)
 	var used timeu.Ticks
 	for _, m := range task.Modes() {
@@ -175,6 +263,7 @@ func (r *Result) merge(cr *channelResult) {
 	r.Channels[cr.id] = &cs
 	r.Silenced += cr.Silenced
 	r.Corruptions += cr.Corruptions
+	r.TransitionLateness.merge(&cr.TransitionLateness)
 	for _, res := range cr.residencies {
 		dst := r.Tasks[res.Task.Name]
 		if dst == nil {
@@ -195,7 +284,7 @@ func (r *Result) merge(cr *channelResult) {
 // condition overlapped. A long fault can overlap several modes and then
 // counts in each category it reaches; a fault that touches no service
 // window at all is harmless.
-func (r *Result) accountFaults(schedule []faults.Fault, usable map[task.Mode][]interval) {
+func (r *Result) accountFaults(schedule []faults.Fault, usable modeIntervals) {
 	for _, f := range schedule {
 		touched := false
 		if overlapsAny(f, usable[task.FT]) {

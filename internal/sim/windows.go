@@ -13,9 +13,16 @@ type serviceWindows struct {
 	// intervals are the times the channel serves tasks, sorted, disjoint.
 	intervals []interval
 	// blockStarts marks instants at which a fail-silent shutdown cut a
-	// window short; a job executing at such an instant is aborted.
+	// window short; a job executing at such an instant is aborted. It is
+	// nil in the common fault-free case — readers index it as a nil map.
 	blockStarts map[timeu.Ticks]bool
 }
+
+// modeIntervals is a per-mode interval table, indexed by task.Mode. It
+// replaces the map[task.Mode][]interval the window plumbing used to
+// allocate per epoch: the mode space is tiny and fixed, so an array
+// costs nothing to copy and nothing to index.
+type modeIntervals [task.NumModes][]interval
 
 // windowSpec describes the platform's periodic time structure in ticks:
 // per-mode usable windows and overhead windows as offsets within one
@@ -23,8 +30,8 @@ type serviceWindows struct {
 // produce several (the multi-quantum extension).
 type windowSpec struct {
 	period   timeu.Ticks
-	usable   map[task.Mode][]interval
-	overhead map[task.Mode][]interval
+	usable   modeIntervals
+	overhead modeIntervals
 }
 
 // specFromConfig converts a Config to its window spec. Usable starts
@@ -32,11 +39,7 @@ type windowSpec struct {
 // relative to the float64 analysis (a 1-tick overlap with neighbouring
 // overhead time is harmless: overheads execute no tasks).
 func specFromConfig(cfg core.Config) windowSpec {
-	spec := windowSpec{
-		period:   timeu.FromUnits(cfg.P),
-		usable:   make(map[task.Mode][]interval, task.NumModes),
-		overhead: make(map[task.Mode][]interval, task.NumModes),
-	}
+	spec := windowSpec{period: timeu.FromUnits(cfg.P)}
 	for _, m := range task.Modes() {
 		slotStart := cfg.SlotStart(m)
 		uFrom := timeu.FromUnitsDown(slotStart + cfg.O.Of(m))
@@ -61,12 +64,12 @@ func specFromConfig(cfg core.Config) windowSpec {
 // periodTicks returns the slot-cycle period in ticks.
 func (s *Simulator) periodTicks() timeu.Ticks { return s.spec.period }
 
-// repeatRange materialises periodic per-period offsets over [from, to),
-// clipping at both ends. Epoch boundaries sit on period multiples, so
-// windows never straddle them; the general clipping keeps partial first
-// periods correct anyway.
-func repeatRange(offsets []interval, period, from, to timeu.Ticks) []interval {
-	var out []interval
+// repeatRange materialises periodic per-period offsets over [from, to)
+// into dst (pass dst[:0] to reuse a scratch buffer), clipping at both
+// ends. Epoch boundaries sit on period multiples, so windows never
+// straddle them; the general clipping keeps partial first periods
+// correct anyway.
+func repeatRange(dst []interval, offsets []interval, period, from, to timeu.Ticks) []interval {
 	base := from - from%period
 	for ; base < to; base += period {
 		for _, w := range offsets {
@@ -81,41 +84,41 @@ func repeatRange(offsets []interval, period, from, to timeu.Ticks) []interval {
 				iv.From = from
 			}
 			if iv.length() > 0 {
-				out = append(out, iv)
+				dst = append(dst, iv)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // modeWindows materialises the usable windows of mode m over [0, horizon).
 func (s *Simulator) modeWindows(m task.Mode, horizon timeu.Ticks) []interval {
-	return repeatRange(s.spec.usable[m], s.spec.period, 0, horizon)
+	return repeatRange(nil, s.spec.usable[m], s.spec.period, 0, horizon)
 }
 
 // overheadWindows materialises the mode-switch overhead intervals of
 // mode m (the prefix of each of its sub-slots) over the horizon, for
 // platform-time accounting.
 func (s *Simulator) overheadWindows(m task.Mode, horizon timeu.Ticks) []interval {
-	return repeatRange(s.spec.overhead[m], s.spec.period, 0, horizon)
+	return repeatRange(nil, s.spec.overhead[m], s.spec.period, 0, horizon)
 }
 
-// platformWindows materialises the per-mode usable and overhead windows
-// of spec over [from, to) — the accounting inputs for one epoch.
-func platformWindows(spec windowSpec, from, to timeu.Ticks) (usable, overhead map[task.Mode][]interval) {
-	usable = make(map[task.Mode][]interval, task.NumModes)
-	overhead = make(map[task.Mode][]interval, task.NumModes)
+// appendPlatformWindows appends the per-mode usable and overhead windows
+// of spec over [from, to) onto the accumulators — the accounting inputs
+// for one epoch, gathered without the per-epoch map and slice churn the
+// old platformWindows paid.
+func appendPlatformWindows(usable, overhead *modeIntervals, spec windowSpec, from, to timeu.Ticks) {
 	for _, m := range task.Modes() {
-		usable[m] = repeatRange(spec.usable[m], spec.period, from, to)
-		overhead[m] = repeatRange(spec.overhead[m], spec.period, from, to)
+		usable[m] = repeatRange(usable[m], spec.usable[m], spec.period, from, to)
+		overhead[m] = repeatRange(overhead[m], spec.overhead[m], spec.period, from, to)
 	}
-	return usable, overhead
 }
 
-// channelFaults returns the fault intervals that afflict the given
-// channel: faults on one of the channel's cores, clipped to [from, to).
-func channelFaults(id ChannelID, schedule []faults.Fault, from, to timeu.Ticks) []interval {
-	var out []interval
+// channelFaults appends onto dst the fault intervals that afflict the
+// given channel: faults on one of the channel's cores, clipped to
+// [from, to).
+func channelFaults(dst []interval, id ChannelID, schedule []faults.Fault, from, to timeu.Ticks) []interval {
+	mark := len(dst)
 	for _, f := range schedule {
 		ch, err := platform.CoreChannel(id.Mode, f.Core)
 		if err != nil || ch != id.Ch {
@@ -132,11 +135,11 @@ func channelFaults(id ChannelID, schedule []faults.Fault, from, to timeu.Ticks) 
 			iv.From = from
 		}
 		if iv.length() > 0 {
-			out = append(out, iv)
+			dst = append(dst, iv)
 		}
 	}
-	sortIntervals(out)
-	return out
+	sortIntervals(dst[mark:])
+	return dst
 }
 
 // serviceFor computes the channel's service availability over
@@ -145,14 +148,22 @@ func channelFaults(id ChannelID, schedule []faults.Fault, from, to timeu.Ticks) 
 // channel because one of its cores is faulty. FT channels keep serving
 // through faults (majority vote); NF channels keep serving too, but
 // corruption is tracked separately (corruptFor).
-func serviceFor(spec windowSpec, id ChannelID, schedule []faults.Fault, from, to timeu.Ticks) serviceWindows {
-	windows := repeatRange(spec.usable[id.Mode], spec.period, from, to)
-	sw := serviceWindows{blockStarts: map[timeu.Ticks]bool{}}
+//
+// The result's intervals are built in e's epoch scratch buffers, valid
+// until the engine's next provisioning — exactly the lifetime an epoch
+// needs.
+func (e *engine) serviceFor(spec windowSpec, schedule []faults.Fault, from, to timeu.Ticks) serviceWindows {
+	id := e.id
 	if id.Mode != task.FS {
-		sw.intervals = windows
-		return sw
+		e.svcBuf = repeatRange(e.svcBuf[:0], spec.usable[id.Mode], spec.period, from, to)
+		return serviceWindows{intervals: e.svcBuf}
 	}
-	blocks := channelFaults(id, schedule, from, to)
+	e.winBuf = repeatRange(e.winBuf[:0], spec.usable[id.Mode], spec.period, from, to)
+	windows := e.winBuf
+	sw := serviceWindows{}
+	e.faultBuf = channelFaults(e.faultBuf[:0], id, schedule, from, to)
+	blocks := e.faultBuf
+	out := e.svcBuf[:0]
 	for _, w := range windows {
 		cur := w
 		for _, b := range blocks {
@@ -162,7 +173,10 @@ func serviceFor(spec windowSpec, id ChannelID, schedule []faults.Fault, from, to
 			if b.From > cur.From {
 				// The block cuts a serving segment short: whatever job is
 				// executing at b.From must be aborted.
-				sw.intervals = append(sw.intervals, interval{From: cur.From, To: b.From})
+				out = append(out, interval{From: cur.From, To: b.From})
+				if sw.blockStarts == nil {
+					sw.blockStarts = map[timeu.Ticks]bool{}
+				}
 				sw.blockStarts[b.From] = true
 			}
 			if b.To >= cur.To {
@@ -172,10 +186,12 @@ func serviceFor(spec windowSpec, id ChannelID, schedule []faults.Fault, from, to
 			cur = interval{From: max(b.To, cur.From), To: cur.To}
 		}
 		if cur.length() > 0 {
-			sw.intervals = append(sw.intervals, cur)
+			out = append(out, cur)
 		}
 	}
-	sortIntervals(sw.intervals)
+	sortIntervals(out)
+	e.svcBuf = out
+	sw.intervals = out
 	return sw
 }
 
@@ -183,14 +199,21 @@ func serviceFor(spec windowSpec, id ChannelID, schedule []faults.Fault, from, to
 // execution on the channel is corrupted over [from, to): the
 // intersection of the channel's fault intervals with its service
 // windows. Other modes return nil (FT masks, FS blocks instead of
-// corrupting).
-func corruptFor(spec windowSpec, id ChannelID, schedule []faults.Fault, from, to timeu.Ticks) []interval {
+// corrupting). Like serviceFor, the result lives in the engine's epoch
+// scratch buffers.
+func (e *engine) corruptFor(spec windowSpec, schedule []faults.Fault, from, to timeu.Ticks) []interval {
+	id := e.id
 	if id.Mode != task.NF {
 		return nil
 	}
-	windows := repeatRange(spec.usable[id.Mode], spec.period, from, to)
-	var out []interval
-	for _, f := range channelFaults(id, schedule, from, to) {
+	e.faultBuf = channelFaults(e.faultBuf[:0], id, schedule, from, to)
+	if len(e.faultBuf) == 0 {
+		return nil
+	}
+	e.winBuf = repeatRange(e.winBuf[:0], spec.usable[id.Mode], spec.period, from, to)
+	windows := e.winBuf
+	out := e.corruptBuf[:0]
+	for _, f := range e.faultBuf {
 		for _, w := range windows {
 			lo, hi := max(f.From, w.From), min(f.To, w.To)
 			if hi > lo {
@@ -199,5 +222,6 @@ func corruptFor(spec windowSpec, id ChannelID, schedule []faults.Fault, from, to
 		}
 	}
 	sortIntervals(out)
+	e.corruptBuf = out
 	return out
 }
