@@ -557,6 +557,9 @@ func BenchmarkAdmitRemoveChurn(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		// Instruments on: the zero-alloc contract covers the metered
+		// manager, not just the bare one.
+		mgr.SetMetrics(NewOnlineMetrics(NewMetricsRegistry()))
 		guest := Task{Name: "mgr-guest", C: 0.05, T: 12, D: 12, Mode: FT, Channel: 0}
 		b.ReportAllocs()
 		b.ResetTimer()

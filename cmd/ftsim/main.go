@@ -40,9 +40,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -52,6 +55,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/design"
+	"repro/internal/metrics"
 	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/timeu"
@@ -82,6 +86,8 @@ func main() {
 		events       = flag.Int("events", 0, "scenario workload events (0 = default 48)")
 		scenarioFile = flag.String("scenariofile", "", "replay this scenario JSON file instead of generating a timeline (implies -scenario)")
 		scenarioOut  = flag.String("scenarioout", "", "write the replayed scenario timeline to this JSON file")
+
+		metricsAddr = flag.String("metricsaddr", "", "serve /metrics (JSON) and /debug/vars (expvar) on this address during -chaos/-scenario runs")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (on clean exit)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file (on clean exit)")
@@ -165,6 +171,23 @@ func main() {
 		cfg.P, cfg.UsableQ(repro.FT), cfg.UsableQ(repro.FS), cfg.UsableQ(repro.NF), cfg.Slack())
 
 	if *chaosRun || *scenarioRun || *scenarioFile != "" {
+		reg := metrics.New()
+		if *metricsAddr != "" {
+			ln, err := net.Listen("tcp", *metricsAddr)
+			if err != nil {
+				log.Fatalf("metrics listener: %v", err)
+			}
+			reg.PublishExpvar("ftsim")
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", metrics.Handler(reg))
+			mux.Handle("/debug/vars", expvar.Handler())
+			go func() {
+				if err := http.Serve(ln, mux); err != nil {
+					log.Printf("metrics server: %v", err)
+				}
+			}()
+			fmt.Printf("metrics: serving on http://%s/metrics\n\n", ln.Addr())
+		}
 		// The bit-identity oracle re-derives minimal slots, so storm a
 		// manager built from the from-scratch solve at the designed
 		// period rather than from a possibly padded loaded design.
@@ -193,6 +216,7 @@ func main() {
 				FaultDurationUnits: *faultDur,
 				Parallel:           true,
 				CollectTrace:       *gantt > 0,
+				Metrics:            reg,
 			}
 			if *scenarioFile != "" {
 				f, err := os.Open(*scenarioFile)
@@ -244,6 +268,9 @@ func main() {
 				fmt.Println()
 				fmt.Print(res.Replay.Trace.Gantt(0, timeu.FromUnits(*gantt), 100))
 			}
+			if res.Metrics != nil {
+				fmt.Printf("\nmetrics:\n%s\n", res.Metrics)
+			}
 			fmt.Println("scenario: every admitted residency met all deadlines")
 			return
 		}
@@ -252,12 +279,16 @@ func main() {
 			Rounds:       *chaosRounds,
 			Writers:      *chaosWriters,
 			OpsPerWriter: *chaosOps,
+			Metrics:      reg,
 		})
 		if res != nil {
 			fmt.Printf("chaos: %s\n", res)
 		}
 		if err != nil {
 			log.Fatal(err)
+		}
+		if res.Metrics != nil {
+			fmt.Printf("\nmetrics:\n%s\n", res.Metrics)
 		}
 		fmt.Println("chaos: all quiescent-point invariants held")
 		return

@@ -99,7 +99,30 @@
 //     backlog persists, and jobs late within one period per such
 //     reshape are classified TransitionLate — the bounded mode-change
 //     latency — apart from genuine misses;
+//   - internal/metrics: a dependency-free, zero-allocation metrics
+//     layer (atomic counters, float-bit gauges, power-of-two-bucket
+//     histograms) with immutable Snapshot reads, an expvar bridge and
+//     an HTTP JSON handler;
 //   - internal/report: table and CSV rendering.
+//
+// # Observability
+//
+// Trace events say what happened; metrics say how much and how fast.
+// The manager (online.NewMetrics + Manager.SetMetrics), the scenario
+// runtime (sim.NewMetrics via ScenarioOptions.Metrics) and the chaos
+// harness register their instruments in one metrics.Registry:
+// reconfiguration outcomes, per-task admit/remove/shed/evict tallies,
+// envelope patches versus fallbacks versus rebuilds, patch and commit
+// latency histograms, live-state gauges, replay throughput. The write
+// side is a single atomic op per instrument, so the instrumented
+// admit+remove cycle keeps its zero-allocation contract (the manager
+// benchmark runs metered, and benchgate holds it at 0 allocs/op);
+// reads are immutable snapshots, exact at quiescent points — which is
+// how the chaos harness uses them, cross-checking every counter
+// against its own tallies after each storm round. cmd/ftsim
+// -metricsaddr serves the registry over HTTP (/metrics JSON,
+// /debug/vars expvar) during -chaos and -scenario runs and both modes
+// print the final snapshot.
 //
 // # Memory model of the hot path
 //

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/online"
 	"repro/internal/task"
 	"repro/internal/timeu"
@@ -70,6 +71,13 @@ type Options struct {
 	// Policy ranks tasks for shedding, eviction and readmission. The
 	// zero Policy values every task equally.
 	Policy online.Policy
+	// Metrics, when non-nil, is the registry the manager's instruments
+	// are registered into (so a caller — cmd/ftsim — can export them
+	// over HTTP while the storm runs). nil uses an internal registry.
+	// Either way the harness cross-checks the counters against its own
+	// tallies at every quiescent point and snapshots them into
+	// Result.Metrics.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +114,18 @@ type Result struct {
 	Consolidates int // Consolidate sweeps
 	Fallbacks    int // envelope-fallback events (patch bailed to full recompile)
 	Rebuilds     int // consolidated events (channel stream rebuilt from scratch)
+
+	// TasksAdmitted / TasksRemoved count individual tasks through
+	// AdmitBatch (and the admitted part of partial batches) and
+	// RemoveBatch — the per-task side of the batch counters above, kept
+	// so the metric conservation check has an independent tally.
+	TasksAdmitted int
+	TasksRemoved  int
+
+	// Metrics is the final snapshot of the manager's instrument
+	// registry, cross-checked against the tallies above at every
+	// quiescent point.
+	Metrics *metrics.Snapshot
 }
 
 // String renders the tallies on one line.
@@ -173,6 +193,7 @@ func (w *writer) step(m *online.Manager, pol online.Policy, rng *rand.Rand) {
 		}
 		if err := m.AdmitBatch(batch); err == nil {
 			w.tally.Admits++
+			w.tally.TasksAdmitted += len(batch)
 			for _, t := range batch {
 				w.inSystem[t.Name] = t
 			}
@@ -192,6 +213,7 @@ func (w *writer) step(m *online.Manager, pol online.Policy, rng *rand.Rand) {
 			return
 		}
 		w.tally.Partials++
+		w.tally.TasksAdmitted += len(report.Admitted)
 		for _, t := range report.Admitted {
 			w.inSystem[t.Name] = t
 		}
@@ -208,6 +230,7 @@ func (w *writer) step(m *online.Manager, pol online.Policy, rng *rand.Rand) {
 		err := online.Backoff{}.Retry(func() error { return m.RemoveBatch(victims) })
 		if err == nil {
 			w.tally.Removes++
+			w.tally.TasksRemoved += len(victims)
 			for _, name := range victims {
 				delete(w.inSystem, name)
 			}
@@ -234,6 +257,16 @@ func Run(m *online.Manager, pr core.Problem, opts Options) (*Result, error) {
 	residents := append(task.Set(nil), pr.Tasks...)
 	total := &Result{}
 
+	// Install the manager's instrument set; the quiescent checks
+	// cross-check every counter against the harness's own tallies, so a
+	// chaos run doubles as the metric-conservation proof.
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	m.SetMetrics(online.NewMetrics(reg))
+	defer m.SetMetrics(nil)
+
 	// Count the envelope-maintenance events the manager reports while
 	// the storm runs: patches that bailed to a full recompile and
 	// channels rebuilt by consolidation.
@@ -250,6 +283,8 @@ func Run(m *online.Manager, pr core.Problem, opts Options) (*Result, error) {
 	defer func() {
 		total.Fallbacks = int(fallbacks.Load())
 		total.Rebuilds = int(rebuilds.Load())
+		s := reg.Snapshot()
+		total.Metrics = &s
 	}()
 
 	// The capacity scenario: per round, a Poisson fault schedule
@@ -401,6 +436,9 @@ func Run(m *online.Manager, pr core.Problem, opts Options) (*Result, error) {
 		if err := checkQuiescent(m, pr, writers, residents, round); err != nil {
 			return total, err
 		}
+		if err := checkMetricConservation(reg, total, fallbacks.Load(), rebuilds.Load(), m, round); err != nil {
+			return total, err
+		}
 	}
 
 	// Final cleanup: every guest leaves (live or parked — RemoveBatch
@@ -419,6 +457,7 @@ func Run(m *online.Manager, pr core.Problem, opts Options) (*Result, error) {
 			return total, fmt.Errorf("chaos: cleanup remove writer %d: %w", w.idx, err)
 		}
 		total.Removes++
+		total.TasksRemoved += len(names)
 		w.inSystem = make(map[string]task.Task)
 	}
 	if rev := m.Revoked(); rev > 0 {
@@ -435,11 +474,18 @@ func Run(m *online.Manager, pr core.Problem, opts Options) (*Result, error) {
 		if err := m.RemoveBatch(parked.Names()); err != nil {
 			return total, fmt.Errorf("chaos: cleanup unpark remove: %w", err)
 		}
+		total.Removes++
+		total.TasksRemoved += len(parked)
 		if err := m.AdmitBatch(parked); err != nil {
 			return total, fmt.Errorf("chaos: cleanup unpark readmit: %w", err)
 		}
+		total.Admits++
+		total.TasksAdmitted += len(parked)
 	}
 	if err := checkQuiescent(m, pr, writers, residents, opts.Rounds); err != nil {
+		return total, fmt.Errorf("chaos: after cleanup: %w", err)
+	}
+	if err := checkMetricConservation(reg, total, fallbacks.Load(), rebuilds.Load(), m, opts.Rounds); err != nil {
 		return total, fmt.Errorf("chaos: after cleanup: %w", err)
 	}
 	if got := len(m.Tasks()); got != len(residents) {
@@ -462,6 +508,56 @@ func mergeTally(dst, src *Result) {
 	dst.Shed += src.Shed
 	dst.Removes += src.Removes
 	dst.Consolidates += src.Consolidates
+	dst.TasksAdmitted += src.TasksAdmitted
+	dst.TasksRemoved += src.TasksRemoved
+}
+
+// checkMetricConservation cross-checks the manager's instrument set
+// against the harness's own tallies at a quiescent point: every
+// counter the wrappers bump must equal what the storm actually did —
+// metrics lose nothing and invent nothing. RemoveRejected is the one
+// counter with no harness-side twin: each attempt of a Backoff retry
+// loop bumps it, and the harness only tallies final outcomes.
+func checkMetricConservation(reg *metrics.Registry, total *Result, fallbacks, rebuilds int64, m *online.Manager, round int) error {
+	s := reg.Snapshot()
+	for _, c := range []struct {
+		name string
+		want int
+	}{
+		{"online.admit.batches", total.Admits},
+		{"online.admit.rejected", total.Rejects},
+		{"online.remove.batches", total.Removes},
+		{"online.partial.batches", total.Partials},
+		{"online.tasks.admitted", total.TasksAdmitted},
+		{"online.tasks.removed", total.TasksRemoved},
+		{"online.tasks.shed", total.Shed},
+		{"online.revokes", total.Revokes},
+		{"online.restores", total.Restores},
+		{"online.tasks.evicted", total.Evicted},
+		{"online.tasks.readmitted", total.Readmitted},
+		{"online.consolidations", int(rebuilds)},
+		{"online.envelope.fallbacks", int(fallbacks)},
+	} {
+		if got := s.Counters[c.name]; got != uint64(c.want) {
+			return fmt.Errorf("chaos: round %d: metric %s = %d, harness tallied %d", round, c.name, got, c.want)
+		}
+	}
+	const tol = 1e-9
+	for _, g := range []struct {
+		name string
+		want float64
+	}{
+		{"online.live_tasks", float64(len(m.Tasks()))},
+		{"online.parked_tasks", float64(len(m.Parked()))},
+		{"online.revoked_capacity", m.Revoked()},
+		{"online.slack", m.Slack()},
+	} {
+		got := s.Gauges[g.name]
+		if diff := got - g.want; diff > tol || diff < -tol {
+			return fmt.Errorf("chaos: round %d: gauge %s = %g, live state says %g", round, g.name, got, g.want)
+		}
+	}
+	return nil
 }
 
 // checkQuiescent runs the full-state invariants at a quiescent point:

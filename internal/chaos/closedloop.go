@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/online"
 	"repro/internal/sim"
 	"repro/internal/task"
@@ -44,6 +45,12 @@ type LoopOptions struct {
 	// MaxTraceEvents) in the result's Replay.
 	CollectTrace   bool
 	MaxTraceEvents int
+	// Metrics, when non-nil, receives the manager's and the scenario
+	// runtime's instruments (so a caller can export them over HTTP
+	// while the loop runs). nil uses an internal registry. The loop
+	// cross-checks the sim counters against the replay result and
+	// snapshots the registry into LoopResult.Metrics.
+	Metrics *metrics.Registry
 }
 
 func (o LoopOptions) withDefaults() LoopOptions {
@@ -96,6 +103,9 @@ type LoopResult struct {
 	// Replay is the full scenario result, for reporting (Gantt, event
 	// outcomes, per-residency stats).
 	Replay *sim.ScenarioResult
+	// Metrics is the final snapshot of the instrument registry the
+	// replay ran with, cross-checked against the replay result.
+	Metrics *metrics.Snapshot
 }
 
 // String renders the tallies on one line.
@@ -200,6 +210,17 @@ func generateTimeline(periodUnits float64, opts LoopOptions) []sim.WorkloadEvent
 
 // runClosedLoop replays the timeline and asserts the invariants.
 func runClosedLoop(m *online.Manager, events []sim.WorkloadEvent, opts LoopOptions) (*LoopResult, error) {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	m.SetMetrics(online.NewMetrics(reg))
+	defer m.SetMetrics(nil)
+	simMet := sim.NewMetrics(reg)
+	// The registry may be shared (a caller exporting several runs), so
+	// the conservation check below compares deltas against this
+	// pre-replay snapshot, not absolute values.
+	before := reg.Snapshot()
 	simOpts := sim.ScenarioOptions{
 		Options: sim.Options{
 			Horizon:        timeu.FromUnits(opts.HorizonUnits),
@@ -209,6 +230,7 @@ func runClosedLoop(m *online.Manager, events []sim.WorkloadEvent, opts LoopOptio
 		},
 		Policy:        opts.Policy,
 		SettlePeriods: opts.SettlePeriods,
+		Metrics:       simMet,
 	}
 	if opts.FaultRate > 0 {
 		simOpts.Injector = faults.Poisson{
@@ -237,6 +259,34 @@ func runClosedLoop(m *online.Manager, events []sim.WorkloadEvent, opts LoopOptio
 		}
 	}
 	res.TransitionLate = r.TotalTransitionLate()
+
+	// Metric conservation: the replay is over (quiescent), so the sim
+	// counter deltas must equal the result's own accounting exactly.
+	after := reg.Snapshot()
+	res.Metrics = &after
+	reshapes := 0
+	if r.Epochs > 1 {
+		reshapes = r.Epochs - 1
+	}
+	for _, c := range []struct {
+		name string
+		want int
+	}{
+		{"sim.events", res.Events},
+		{"sim.events.accepted", res.Accepted},
+		{"sim.epochs", res.Epochs},
+		{"sim.reshapes", reshapes},
+		{"sim.jobs.released", res.Released},
+		{"sim.jobs.completed", res.Completed},
+		{"sim.jobs.missed", r.TotalMisses()},
+		{"sim.jobs.transition_late", res.TransitionLate},
+	} {
+		delta := after.Counters[c.name] - before.Counters[c.name]
+		if delta != uint64(c.want) {
+			return res, fmt.Errorf("chaos: closed loop: metric %s advanced by %d, replay result says %d", c.name, delta, c.want)
+		}
+	}
+
 	faulty := r.TotalFaults > 0
 	for _, rr := range r.Residencies {
 		if rr.Stats.Missed == 0 {

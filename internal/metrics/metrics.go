@@ -1,0 +1,356 @@
+// Package metrics is a dependency-free, zero-allocation metrics layer
+// for the admission and replay runtime: atomic counters, float gauges
+// and fixed-bucket latency histograms behind a named registry with
+// immutable Snapshot reads.
+//
+// The contract mirrors the hot-path memory model of the rest of the
+// repo: the write side (Inc/Add/Set/Observe) is a handful of atomic
+// operations on pre-registered instruments — no locks, no maps, no
+// allocation — so instrumentation may sit inside the manager's
+// zero-alloc admit+remove cycle without moving any BENCH_baseline.json
+// entry. All allocation happens on the read side: Registry.Snapshot
+// copies every instrument into plain values that never change again.
+//
+// Instruments are registered by name and idempotent: asking a registry
+// twice for the same counter returns the same *Counter, so independent
+// layers (manager, sim, chaos harness) can share one registry without
+// coordinating. Names are free-form; the stack uses dotted lowercase
+// ("online.admit.batches", "sim.events").
+//
+// Writes are individually atomic but a multi-field instrument
+// (histogram count/sum/buckets) is not updated transactionally, so a
+// snapshot taken while writers are running may be off by the handful
+// of operations in flight. At a quiescent point — no writer between
+// the last Observe and the Snapshot — snapshots are exact, which is
+// what the chaos harness' conservation checks rely on.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"math"
+	"math/bits"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value (stored as atomic bits).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// HistogramBuckets is the fixed bucket count. Bucket i counts values
+// whose bit length is i — exponential base-2 buckets [2^(i-1), 2^i)
+// with bucket 0 holding exact zeros — so observing a value is one
+// bits.Len64 plus four atomic adds, in the spirit of the sim layer's
+// LatenessHistogram. 48 buckets span 1 ns .. ~39 h when values are
+// nanoseconds; larger values clamp into the last bucket.
+const HistogramBuckets = 48
+
+// Histogram is a fixed-bucket distribution of uint64 observations
+// (by convention, durations in nanoseconds).
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [HistogramBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := bits.Len64(v)
+	if i >= HistogramBuckets {
+		i = HistogramBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the nanoseconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	d := time.Since(t0)
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Registry is a named collection of instruments. Registration takes a
+// mutex; the returned instrument pointers are lock-free thereafter, so
+// hot paths register once up front and hold the pointers.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Idempotent: the same name always yields the same pointer.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is an immutable copy of one histogram.
+type HistogramSnapshot struct {
+	Count, Sum, Max uint64
+	Buckets         [HistogramBuckets]uint64
+}
+
+// Mean returns the mean observed value.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
+// top of the bucket containing it. Resolution is one power of two.
+func (h HistogramSnapshot) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			hi := uint64(1) << uint(i)
+			if hi-1 > h.Max && h.Max > 0 {
+				return h.Max
+			}
+			return hi - 1
+		}
+	}
+	return h.Max
+}
+
+// Snapshot is an immutable point-in-time copy of a registry. The maps
+// are owned by the snapshot; mutating the registry afterwards does not
+// change it.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies every instrument. This is the allocating read side;
+// exact when no writer is concurrently active.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		var hs HistogramSnapshot
+		hs.Count = h.count.Load()
+		hs.Sum = h.sum.Load()
+		hs.Max = h.max.Load()
+		for i := range h.buckets {
+			hs.Buckets[i] = h.buckets[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// String renders the snapshot human-readably, one instrument per line,
+// sorted by name. Histograms show count, mean, p50/p99 bucket bounds
+// and max, interpreting values as nanosecond durations.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "counter %-34s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "gauge   %-34s %.4g\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "hist    %-34s count %d mean %v p50 ≤%v p99 ≤%v max %v\n",
+			name, h.Count,
+			time.Duration(h.Mean()).Round(time.Nanosecond),
+			time.Duration(h.Quantile(0.50)),
+			time.Duration(h.Quantile(0.99)),
+			time.Duration(h.Max))
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Handler serves the registry as a JSON document (the expvar map
+// shape: counters and gauges as numbers, histograms as objects).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		writeJSON(w, r.Snapshot())
+	})
+}
+
+// PublishExpvar exposes the registry under the given expvar name (and
+// therefore on /debug/vars). Safe to call once per name per process;
+// expvar itself panics on duplicate names, so guard repeated
+// publication at the caller.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any {
+		return r.Snapshot()
+	}))
+}
+
+// writeJSON renders the snapshot without pulling encoding/json into
+// the package's steady-state dependencies at snapshot call sites; the
+// format is plain JSON.
+func writeJSON(w http.ResponseWriter, s Snapshot) {
+	var b strings.Builder
+	b.WriteString("{\n  \"counters\": {")
+	writeNumMap(&b, s.Counters, func(v uint64) string { return fmt.Sprintf("%d", v) })
+	b.WriteString("},\n  \"gauges\": {")
+	writeNumMap(&b, s.Gauges, func(v float64) string { return formatJSONFloat(v) })
+	b.WriteString("},\n  \"histograms\": {")
+	first := true
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(&b, "\n    %q: {\"count\": %d, \"sum\": %d, \"max\": %d, \"mean_ns\": %s, \"p50_ns\": %d, \"p99_ns\": %d}",
+			name, h.Count, h.Sum, h.Max, formatJSONFloat(h.Mean()), h.Quantile(0.50), h.Quantile(0.99))
+	}
+	if !first {
+		b.WriteString("\n  ")
+	}
+	b.WriteString("}\n}\n")
+	fmt.Fprint(w, b.String())
+}
+
+func writeNumMap[V any](b *strings.Builder, m map[string]V, format func(V) string) {
+	first := true
+	for _, name := range sortedKeys(m) {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(b, "\n    %q: %s", name, format(m[name]))
+	}
+	if !first {
+		b.WriteString("\n  ")
+	}
+}
+
+// formatJSONFloat renders a float as JSON (NaN/Inf are not valid JSON
+// numbers; clamp them to null).
+func formatJSONFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return fmt.Sprintf("%g", v)
+}

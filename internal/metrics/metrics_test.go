@@ -1,0 +1,265 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines and
+// checks the total is exact. Run under -race this also proves the
+// write side is data-race free.
+func TestCounterConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	const writers, perWriter = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if i%2 == 0 {
+					c.Inc()
+				} else {
+					c.Add(3)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	want := uint64(writers * (perWriter/2 + 3*perWriter/2))
+	if got := c.Value(); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+}
+
+// TestGaugeConcurrent checks Add is lossless under contention and Set
+// is last-write-wins.
+func TestGaugeConcurrent(t *testing.T) {
+	r := New()
+	g := r.Gauge("g")
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), 0.5*writers*perWriter; got != want {
+		t.Fatalf("gauge = %v, want %v", got, want)
+	}
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Fatalf("gauge after Set = %v, want -1.25", got)
+	}
+}
+
+// TestHistogramConcurrent checks count/sum/max are exact at quiescence
+// after a concurrent storm, and buckets conserve the count.
+func TestHistogramConcurrent(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	const writers, perWriter = 8, 4000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(uint64(w*perWriter + i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot().Histograms["h"]
+	n := uint64(writers * perWriter)
+	if s.Count != n {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	if want := (n - 1) * n / 2; s.Sum != want {
+		t.Fatalf("sum = %d, want %d", s.Sum, want)
+	}
+	if want := uint64(writers*perWriter - 1); s.Max != want {
+		t.Fatalf("max = %d, want %d", s.Max, want)
+	}
+	var bucketTotal uint64
+	for _, b := range s.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != n {
+		t.Fatalf("bucket total = %d, want %d (buckets must conserve the count)", bucketTotal, n)
+	}
+}
+
+// TestHistogramBuckets pins the bucket layout: zeros in bucket 0,
+// [2^(i-1), 2^i) in bucket i, huge values clamped into the last.
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	h.Observe(4)
+	h.Observe(math.MaxUint64)
+	s := r.Snapshot().Histograms["h"]
+	if s.Buckets[0] != 1 || s.Buckets[1] != 1 || s.Buckets[2] != 2 || s.Buckets[3] != 1 {
+		t.Fatalf("low buckets = %v", s.Buckets[:4])
+	}
+	if s.Buckets[HistogramBuckets-1] != 1 {
+		t.Fatalf("max bucket = %d, want 1 (clamp)", s.Buckets[HistogramBuckets-1])
+	}
+	if s.Max != math.MaxUint64 {
+		t.Fatalf("max = %d", s.Max)
+	}
+}
+
+// TestRegistryIdempotent checks registration returns stable pointers.
+func TestRegistryIdempotent(t *testing.T) {
+	r := New()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("Counter not idempotent")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Fatal("Gauge not idempotent")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Fatal("Histogram not idempotent")
+	}
+	// Same name, different kinds coexist.
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(2)
+	s := r.Snapshot()
+	if s.Counters["x"] != 1 || s.Gauges["x"] != 2 {
+		t.Fatalf("kind collision: %+v", s)
+	}
+}
+
+// TestSnapshotImmutable mutates the registry after taking a snapshot
+// and checks the snapshot does not move.
+func TestSnapshotImmutable(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	c.Add(7)
+	g.Set(1.5)
+	h.Observe(100)
+
+	s := r.Snapshot()
+
+	c.Add(1000)
+	g.Set(-9)
+	for i := 0; i < 50; i++ {
+		h.Observe(1 << 30)
+	}
+	r.Counter("new-after-snapshot").Inc()
+
+	if s.Counters["c"] != 7 {
+		t.Fatalf("snapshot counter moved: %d", s.Counters["c"])
+	}
+	if s.Gauges["g"] != 1.5 {
+		t.Fatalf("snapshot gauge moved: %v", s.Gauges["g"])
+	}
+	hs := s.Histograms["h"]
+	if hs.Count != 1 || hs.Sum != 100 || hs.Max != 100 {
+		t.Fatalf("snapshot histogram moved: %+v", hs)
+	}
+	if _, ok := s.Counters["new-after-snapshot"]; ok {
+		t.Fatal("snapshot grew a counter registered after it was taken")
+	}
+}
+
+// TestQuantile checks the bucketed quantile bound brackets the true
+// value and is exact at the extremes.
+func TestQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := r.Snapshot().Histograms["h"]
+	if q := s.Quantile(0.5); q < 500 || q > 1023 {
+		t.Fatalf("p50 bound = %d, want within [500, 1023]", q)
+	}
+	if q := s.Quantile(1.0); q != 1000 {
+		// The final bucket bound clamps to the observed max.
+		t.Fatalf("p100 = %d, want 1000", q)
+	}
+	if q := s.Quantile(0); q > 1 {
+		t.Fatalf("p0 bound = %d", q)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.99) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty histogram quantile/mean must be 0")
+	}
+}
+
+// TestSnapshotString smoke-tests the human-readable rendering.
+func TestSnapshotString(t *testing.T) {
+	r := New()
+	r.Counter("online.admit.batches").Add(3)
+	r.Gauge("online.live_tasks").Set(12)
+	r.Histogram("online.commit_ns").Observe(uint64(2 * time.Microsecond))
+	out := r.Snapshot().String()
+	for _, want := range []string{"counter", "online.admit.batches", "3", "gauge", "online.live_tasks", "hist", "online.commit_ns", "count 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHandler serves a snapshot over HTTP and checks the JSON shape.
+func TestHandler(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(0.25)
+	r.Histogram("h").Observe(1024)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"c": 5`, `"g": 0.25`, `"count": 1`, `"counters"`, `"histograms"`} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("handler output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestZeroAllocWrites is the package-local statement of the zero-alloc
+// contract: steady-state Inc/Add/Set/Observe allocate nothing.
+func TestZeroAllocWrites(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	t0 := time.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1)
+		h.Observe(123)
+		h.ObserveSince(t0)
+	})
+	if allocs != 0 {
+		t.Fatalf("write side allocates %.1f allocs/op, want 0", allocs)
+	}
+}

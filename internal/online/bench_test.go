@@ -35,6 +35,7 @@ func BenchmarkPartialAdmission(b *testing.B) {
 	}}
 	for _, shed := range []int{0, 1, 2, 4} {
 		b.Run(fmt.Sprintf("shed-%d-of-%d", shed, batchSize), func(b *testing.B) {
+			b.ReportAllocs()
 			m, _, _ := minimalManager(b)
 			m.SetConsolidateEvery(0) // keep the patch counters monotone
 			batch := make([]task.Task, batchSize)
@@ -78,6 +79,7 @@ func BenchmarkPartialAdmission(b *testing.B) {
 // BenchmarkRevokeRestore cycles a capacity loss that evicts four guests
 // and a recovery that readmits them.
 func BenchmarkRevokeRestore(b *testing.B) {
+	b.ReportAllocs()
 	m, _, _ := minimalManager(b)
 	m.SetConsolidateEvery(0)
 	guests := make([]task.Task, 4)

@@ -2,7 +2,7 @@ package online
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/task"
@@ -48,14 +48,13 @@ func (m *Manager) Revoke(capacity float64, pol Policy) (*DegradeReport, error) {
 	defer unlockChannels(touched)
 	m.commitMu.Lock()
 	defer m.commitMu.Unlock()
-	deg := m.deg.Load()
-	newRevoked := deg.revoked + capacity
-	reduced := &degradeState{revoked: newRevoked}
-	live := append(task.Set(nil), *m.live.Load()...)
+	old := m.cur.Load()
+	newRevoked := old.revoked + capacity
+	live := append(task.Set(nil), old.live...)
 	var evicted task.Set
 	for {
 		next, _, _ := m.candidateLocked(touched)
-		if m.fits(next, reduced) {
+		if m.fits(next, newRevoked) {
 			break
 		}
 		if len(live) == 0 {
@@ -88,15 +87,17 @@ func (m *Manager) Revoke(capacity float64, pol Policy) (*DegradeReport, error) {
 		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 	}
 	m.installProfiles(touched)
-	parked := append(append(task.Set(nil), deg.parked...), evicted...)
-	m.live.Store(&live)
-	m.cfg.Store(&next)
-	m.deg.Store(&degradeState{revoked: newRevoked, parked: parked})
+	parked := append(append(task.Set(nil), old.parked...), evicted...)
+	m.storeSnapLocked(next, live, newRevoked, parked)
 	m.nameMu.Lock()
 	for _, t := range evicted {
 		m.names[t.Name].parked = true
 	}
 	m.nameMu.Unlock()
+	if mt := m.met.Load(); mt != nil {
+		mt.Revokes.Inc()
+		mt.TasksEvicted.Add(uint64(len(evicted)))
+	}
 	m.emit(Event{Kind: trace.Degraded, Revoked: newRevoked})
 	if len(evicted) > 0 {
 		m.emit(Event{Kind: trace.Evicted, Tasks: evicted.Names(), Revoked: newRevoked})
@@ -131,19 +132,26 @@ func (m *Manager) Restore(capacity float64, pol Policy) (*DegradeReport, error) 
 	defer unlockChannels(touched)
 	m.commitMu.Lock()
 	defer m.commitMu.Unlock()
-	deg := m.deg.Load()
-	if capacity > deg.revoked+core.SlotFitTol {
-		return nil, fmt.Errorf("%w: restoring %.6f but only %.6f is revoked", ErrRejected, capacity, deg.revoked)
+	old := m.cur.Load()
+	if capacity > old.revoked+core.SlotFitTol {
+		return nil, fmt.Errorf("%w: restoring %.6f but only %.6f is revoked", ErrRejected, capacity, old.revoked)
 	}
-	newRevoked := deg.revoked - capacity
+	newRevoked := old.revoked - capacity
 	if newRevoked < 0 {
 		newRevoked = 0
 	}
-	restored := &degradeState{revoked: newRevoked}
-	candidates := append(task.Set(nil), deg.parked...)
+	candidates := append(task.Set(nil), old.parked...)
 	// Readmit highest value first; shedBefore orders lowest first, so
 	// reverse it.
-	sort.SliceStable(candidates, func(i, j int) bool { return pol.shedBefore(candidates[j], candidates[i]) })
+	slices.SortStableFunc(candidates, func(a, b task.Task) int {
+		switch {
+		case pol.shedBefore(b, a):
+			return -1
+		case pol.shedBefore(a, b):
+			return 1
+		}
+		return 0
+	})
 	var readmitted task.Set
 	stillParked := make(task.Set, 0, len(candidates))
 	for _, t := range candidates {
@@ -155,7 +163,7 @@ func (m *Manager) Restore(capacity float64, pol Policy) (*DegradeReport, error) 
 		}
 		oldMinq := tc.minq
 		tc.minq = tc.st.prof.MinQ(m.p)
-		if next, _, _ := m.candidateLocked(touched); m.fits(next, restored) {
+		if next, _, _ := m.candidateLocked(touched); m.fits(next, newRevoked) {
 			tc.patches++
 			readmitted = append(readmitted, t)
 		} else {
@@ -180,25 +188,27 @@ func (m *Manager) Restore(capacity float64, pol Policy) (*DegradeReport, error) 
 	}
 	m.installProfiles(touched)
 	// Keep eviction order for the surviving parked set.
-	live := append(append(task.Set(nil), *m.live.Load()...), readmitted...)
+	live := append(append(task.Set(nil), old.live...), readmitted...)
 	parked := make(task.Set, 0, len(stillParked))
 	back := make(map[string]bool, len(readmitted))
 	for _, t := range readmitted {
 		back[t.Name] = true
 	}
-	for _, t := range deg.parked {
+	for _, t := range old.parked {
 		if !back[t.Name] {
 			parked = append(parked, t)
 		}
 	}
-	m.live.Store(&live)
-	m.cfg.Store(&next)
-	m.deg.Store(&degradeState{revoked: newRevoked, parked: parked})
+	m.storeSnapLocked(next, live, newRevoked, parked)
 	m.nameMu.Lock()
 	for _, t := range readmitted {
 		m.names[t.Name].parked = false
 	}
 	m.nameMu.Unlock()
+	if mt := m.met.Load(); mt != nil {
+		mt.Restores.Inc()
+		mt.TasksReadmitted.Add(uint64(len(readmitted)))
+	}
 	m.emit(Event{Kind: trace.Restored, Revoked: newRevoked})
 	if len(readmitted) > 0 {
 		m.emit(Event{Kind: trace.Readmitted, Tasks: readmitted.Names(), Revoked: newRevoked})

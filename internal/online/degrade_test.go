@@ -286,7 +286,11 @@ func TestRemoveErrorsWrapSentinels(t *testing.T) {
 	}
 	tries := 0
 	var slept []time.Duration
-	err = Backoff{Attempts: 3, Sleep: func(d time.Duration) { slept = append(slept, d) }}.Retry(func() error {
+	err = Backoff{
+		Attempts: 3,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+		Rand:     func() float64 { return 0 }, // pin the jitter for a deterministic schedule
+	}.Retry(func() error {
 		tries++
 		if tries == 3 {
 			m.nameMu.Lock()

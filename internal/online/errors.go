@@ -3,6 +3,7 @@ package online
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"time"
 
@@ -165,18 +166,28 @@ func rejectTask(t task.Task, code VerdictCode, detail string) *Rejection {
 // an admission or removal that collided with a batch still in flight.
 // Non-transient errors (capacity rejections, unknown names) abort the
 // retry loop immediately — waiting cannot fix those.
+//
+// Delays are jittered: each wait is drawn uniformly from the upper
+// half of the exponential step, [step/2, step). Deterministic delays
+// would make contending callers that collided once sleep identically
+// and re-collide on every retry — lockstep livelock until the attempts
+// run out; jitter decorrelates their schedules so contenders converge.
 type Backoff struct {
 	// Attempts is the total number of tries (including the first);
 	// values below 1 default to 4.
 	Attempts int
-	// Base is the delay before the second try, doubling after each
-	// failure; 0 defaults to 100µs.
+	// Base is the delay scale before the second try, doubling after
+	// each failure; 0 defaults to 100µs.
 	Base time.Duration
 	// Max caps the per-try delay; 0 defaults to 10ms.
 	Max time.Duration
 	// Sleep is the wait function, a seam for tests; nil uses
 	// time.Sleep.
 	Sleep func(time.Duration)
+	// Rand returns a uniform float64 in [0, 1) — the jitter seam, so
+	// tests can pin the schedule. nil uses the process-global seeded
+	// source (math/rand), which is safe for concurrent use.
+	Rand func() float64
 }
 
 // Retry runs fn until it succeeds, fails non-transiently, or exhausts
@@ -199,13 +210,18 @@ func (b Backoff) Retry(fn func() error) error {
 	if sleep == nil {
 		sleep = time.Sleep
 	}
+	random := b.Rand
+	if random == nil {
+		random = rand.Float64
+	}
 	var err error
 	for i := 0; i < attempts; i++ {
 		if err = fn(); err == nil || !errors.Is(err, ErrBusy) {
 			return err
 		}
 		if i < attempts-1 {
-			sleep(delay)
+			half := delay / 2
+			sleep(half + time.Duration(random()*float64(half)))
 			delay *= 2
 			if delay > max {
 				delay = max

@@ -77,6 +77,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -106,26 +107,31 @@ type Manager struct {
 	over core.Overheads
 	p    float64 // the fixed period, immutable after construction
 
-	// cfg is the live configuration, replaced by one atomic pointer
-	// swap per committed reconfiguration. The pointee is never mutated.
-	cfg atomic.Pointer[core.Config]
-	// live is the committed task-set snapshot, same publication scheme.
-	live atomic.Pointer[task.Set]
-	// deg is the committed degraded-mode state (revoked capacity plus
-	// the parked tasks awaiting Restore), same publication scheme.
-	deg atomic.Pointer[degradeState]
+	// cur is the committed state — configuration, live task set and
+	// degraded-mode state in one internally consistent record — replaced
+	// by one atomic pointer swap per reconfiguration. The records come
+	// from a small ring recycled under commitMu: a retired record is
+	// rewritten in place once no reader holds a reference, so
+	// steady-state publication allocates nothing (see snapshot).
+	cur atomic.Pointer[snapshot]
+	// ring holds the recyclable snapshot records; ringIdx is the last
+	// slot handed out. Both are guarded by commitMu.
+	ring    [snapshotRing]*snapshot
+	ringIdx int
 
 	// commitMu serialises the decide-and-swap step of every
 	// reconfiguration: the per-mode worst-quantum comparison against the
-	// available capacity, the cfg/live/deg swaps and the minq cache
+	// available capacity, the snapshot swap and the minq cache
 	// updates all happen under it. The expensive profile patching
 	// happens before it, under the channel locks only.
 	commitMu sync.Mutex
 
-	// nameMu guards names, the global task registry. It is a leaf lock:
-	// nothing else is acquired while holding it.
-	nameMu sync.Mutex
-	names  map[string]*nameEntry
+	// nameMu guards names, the global task registry, and nameFree, the
+	// registry's entry freelist. It is a leaf lock: nothing else is
+	// acquired while holding it.
+	nameMu   sync.Mutex
+	names    map[string]*nameEntry
+	nameFree []*nameEntry
 
 	channels [task.NumModes][]*channelState
 
@@ -142,19 +148,111 @@ type Manager struct {
 	// SetEventSink needs no lock).
 	events atomic.Pointer[func(Event)]
 
+	// met is the optional metrics instrument set (atomic so SetMetrics
+	// needs no lock; nil means instrumentation is off).
+	met atomic.Pointer[Metrics]
+
 	// now is the simulated clock a scenario driver advances with SetNow;
 	// every emitted Event is stamped with it. Zero for wall-clock
 	// managers that never set it.
 	now atomic.Int64
 }
 
-// degradeState is the immutable snapshot of the degraded-mode state.
-type degradeState struct {
-	// revoked is the capacity withdrawn from the period by Revoke.
+// snapshotRing is the number of recyclable snapshot records. Readers
+// hold a record only for the handful of instructions it takes to copy
+// what they need, so a small ring keeps the writer from ever having to
+// allocate; if every spare slot is somehow pinned the writer allocates
+// a fresh record and lets the pinned one go to the collector.
+const snapshotRing = 4
+
+// snapshot is one committed manager state: the live configuration, the
+// admitted task set and the degraded-mode state (revoked capacity plus
+// the parked tasks awaiting Restore), consistent as a unit.
+//
+// Publication is a pooled read-copy-update: the writer (under
+// commitMu) picks a retired ring record — one that is not current and
+// has no reader references — rewrites its fields in place reusing the
+// slice backings, and publishes it with one cur.Store. Readers pin a
+// record with acquire/release around their copies. The happens-before
+// chain is carried entirely by the atomics: writer field-writes →
+// cur.Store (release) → reader cur.Load (acquire) → reader field-reads
+// → refs release → writer refs.Load (acquire) → next rewrite. That
+// makes the scheme race-detector-clean, unlike a seqlock.
+type snapshot struct {
+	cfg     core.Config
+	live    task.Set
 	revoked float64
-	// parked holds the tasks evicted under capacity loss, in eviction
-	// order, awaiting readmission by Restore.
-	parked task.Set
+	parked  task.Set
+	refs    atomic.Int64
+}
+
+// acquire pins the current snapshot for reading. The caller must call
+// release when done copying out of it — promptly, so the writer's ring
+// stays recyclable.
+func (m *Manager) acquire() *snapshot {
+	for {
+		s := m.cur.Load()
+		s.refs.Add(1)
+		// Re-check after pinning: if the record is still current the
+		// writer cannot have started rewriting it (it skips records with
+		// live references, and a record is only rewritten after being
+		// retired). If it moved on, unpin and retry.
+		if m.cur.Load() == s {
+			return s
+		}
+		s.refs.Add(-1)
+	}
+}
+
+func (s *snapshot) release() { s.refs.Add(-1) }
+
+// nextSnapLocked returns a writable snapshot record: a ring slot that
+// is neither current nor pinned by a reader. Its slice backings carry
+// over, so steady-state publication reuses them and allocates nothing.
+// Caller holds commitMu.
+func (m *Manager) nextSnapLocked() *snapshot {
+	cur := m.cur.Load()
+	for range m.ring {
+		m.ringIdx = (m.ringIdx + 1) % len(m.ring)
+		s := m.ring[m.ringIdx]
+		if s == nil {
+			s = &snapshot{}
+			m.ring[m.ringIdx] = s
+			return s
+		}
+		if s != cur && s.refs.Load() == 0 {
+			return s
+		}
+	}
+	// Every spare record is pinned by a slow reader: retire this slot's
+	// record to the collector and start a fresh one.
+	s := &snapshot{}
+	m.ring[m.ringIdx] = s
+	return s
+}
+
+// storeSnapLocked publishes the given state, copying the slices into a
+// recycled record (the arguments are not retained). Caller holds
+// commitMu.
+func (m *Manager) storeSnapLocked(cfg core.Config, live task.Set, revoked float64, parked task.Set) {
+	s := m.nextSnapLocked()
+	s.cfg = cfg
+	s.live = append(s.live[:0], live...)
+	s.revoked = revoked
+	s.parked = append(s.parked[:0], parked...)
+	m.cur.Store(s)
+	m.setStateGauges(s)
+}
+
+// setStateGauges refreshes the published-state gauges from the record
+// just committed. Atomic stores only; no-op without instrumentation.
+func (m *Manager) setStateGauges(s *snapshot) {
+	if mt := m.met.Load(); mt != nil {
+		mt.LiveTasks.Set(float64(len(s.live)))
+		mt.ParkedTasks.Set(float64(len(s.parked)))
+		mt.RevokedCapacity.Set(s.revoked)
+		mt.Slack.Set(s.cfg.Slack())
+	}
 }
 
 // Event is one robustness notification: tasks shed by partial
@@ -271,35 +369,59 @@ func NewManagerFromCompiled(cp *core.CompiledProblem, cfg core.Config) (*Manager
 			m.names[t.Name] = &nameEntry{t: t}
 		}
 	}
-	live := append(task.Set(nil), pr.Tasks...)
-	m.live.Store(&live)
-	cfgCopy := cfg
-	m.cfg.Store(&cfgCopy)
-	m.deg.Store(&degradeState{})
+	first := &snapshot{
+		cfg:  cfg,
+		live: append(task.Set(nil), pr.Tasks...),
+	}
+	m.ring[0] = first
+	m.cur.Store(first)
 	return m, nil
 }
 
 // Config returns the current configuration. It never blocks behind a
-// reshape: the live configuration is read with one atomic load.
-func (m *Manager) Config() core.Config { return *m.cfg.Load() }
+// reshape: the live configuration is read off the pinned snapshot.
+func (m *Manager) Config() core.Config {
+	s := m.acquire()
+	cfg := s.cfg
+	s.release()
+	return cfg
+}
 
 // Tasks returns a copy of the currently admitted task set (lock-free).
 // Tasks evicted by Revoke are parked, not admitted; see Parked.
-func (m *Manager) Tasks() task.Set { return append(task.Set(nil), *m.live.Load()...) }
+func (m *Manager) Tasks() task.Set {
+	s := m.acquire()
+	out := append(task.Set(nil), s.live...)
+	s.release()
+	return out
+}
 
 // Slack returns the bandwidth still redistributable (lock-free): the
 // period minus the slots. Under degraded operation part of it is
 // revoked; subtract Revoked for the spendable remainder.
-func (m *Manager) Slack() float64 { return m.cfg.Load().Slack() }
+func (m *Manager) Slack() float64 {
+	s := m.acquire()
+	v := s.cfg.Slack()
+	s.release()
+	return v
+}
 
 // Revoked returns the capacity currently withdrawn by Revoke
 // (lock-free). Zero in normal operation.
-func (m *Manager) Revoked() float64 { return m.deg.Load().revoked }
+func (m *Manager) Revoked() float64 {
+	s := m.acquire()
+	v := s.revoked
+	s.release()
+	return v
+}
 
 // Parked returns a copy of the tasks evicted under capacity loss and
 // awaiting Restore, in eviction order (lock-free).
 func (m *Manager) Parked() task.Set {
-	return append(task.Set(nil), m.deg.Load().parked...)
+	s := m.acquire()
+	out := append(task.Set(nil), s.parked...)
+	s.release()
+	return out
 }
 
 // SetEventSink installs fn as the robustness-event sink: it receives
@@ -314,6 +436,15 @@ func (m *Manager) SetEventSink(fn func(Event)) {
 	}
 	m.events.Store(&fn)
 }
+
+// SetMetrics installs (or, with nil, removes) the metrics instrument
+// set. The write side of every instrument is a handful of atomic
+// operations, so enabling metrics adds zero allocations to the
+// admit+remove cycle; the instruments may be shared with other
+// managers or layers through their common metrics.Registry. Metrics
+// complement the event sink: events say what happened, metrics say how
+// much and how fast.
+func (m *Manager) SetMetrics(mt *Metrics) { m.met.Store(mt) }
 
 // SetNow advances the manager's simulated clock. It is the scenario-
 // driver hook: a replay (internal/sim) sets the workload event's
@@ -338,22 +469,38 @@ func (m *Manager) emit(ev Event) {
 // (α, Δ) supply, structure valid, and — under degraded operation — the
 // slots within the unrevoked capacity. It is the independent oracle for
 // the compiled fast path — full recompilation cost, so it is offered on
-// demand rather than paid on every reshape. It takes the commit mutex
-// briefly to snapshot a consistent (configuration, task set, degraded
-// state) triple.
+// demand rather than paid on every reshape. The (configuration, task
+// set, degraded state) triple comes consistent from one pinned
+// snapshot, so Verify never contends with writers.
 func (m *Manager) Verify() error {
-	m.commitMu.Lock()
-	cfg := *m.cfg.Load()
-	tasks := append(task.Set(nil), *m.live.Load()...)
-	deg := m.deg.Load()
-	m.commitMu.Unlock()
-	if cfg.Q.Total() > cfg.P-deg.revoked+core.SlotFitTol {
+	s := m.acquire()
+	cfg := s.cfg
+	tasks := append(task.Set(nil), s.live...)
+	revoked := s.revoked
+	s.release()
+	if cfg.Q.Total() > cfg.P-revoked+core.SlotFitTol {
 		return fmt.Errorf("online: slots total %.6f exceed the unrevoked capacity %.6f (period %.6f minus %.6f revoked)",
-			cfg.Q.Total(), cfg.P-deg.revoked, cfg.P, deg.revoked)
+			cfg.Q.Total(), cfg.P-revoked, cfg.P, revoked)
 	}
 	pr := core.Problem{Tasks: tasks, Alg: m.alg, O: m.over}
 	return pr.Verify(cfg)
 }
+
+// opScratch is one reconfiguration's reusable working storage: the
+// normalized batch, the touched-channel slice and the removal path's
+// re-split buffers. Pooled because the profile layer copies every task
+// value it is handed (AddTasks/DropTasks append values, publish copies
+// values into the snapshot), so nothing here escapes the operation —
+// which is what makes the steady-state admit+remove cycle
+// allocation-free.
+type opScratch struct {
+	norm    task.Set
+	touched []touchedChannel
+	live    task.Set
+	parked  task.Set
+}
+
+var opPool = sync.Pool{New: func() any { return new(opScratch) }}
 
 // Admit attempts to add one task at run time; it is AdmitBatch of a
 // single-element batch. The task's mode slot is resized to the new
@@ -381,32 +528,54 @@ func (m *Manager) AdmitBatch(batch []task.Task) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	norm := make(task.Set, len(batch))
-	var inBatch map[string]bool // single-task batches skip the dup map
-	if len(batch) > 1 {
-		inBatch = make(map[string]bool, len(batch))
+	err := m.admitBatch(batch)
+	if mt := m.met.Load(); mt != nil {
+		if err == nil {
+			mt.AdmitBatches.Inc()
+			mt.TasksAdmitted.Add(uint64(len(batch)))
+		} else {
+			mt.AdmitRejected.Inc()
+		}
 	}
-	for i, t := range batch {
+	return err
+}
+
+func (m *Manager) admitBatch(batch []task.Task) error {
+	sc := opPool.Get().(*opScratch)
+	defer opPool.Put(sc)
+	norm := sc.norm[:0]
+	for _, t := range batch {
 		t = t.Normalized()
 		if err := t.Validate(); err != nil {
+			sc.norm = norm
 			return rejectTask(t, VerdictInvalid, err.Error())
 		}
 		if t.Name == "" {
+			sc.norm = norm
 			return rejectTask(t, VerdictInvalid, "task must have a name (anonymous tasks cannot be removed later)")
 		}
-		if inBatch != nil {
-			if inBatch[t.Name] {
+		// Dup check by linear scan: batches are small, and a map here
+		// allocates on the hottest path.
+		for _, prev := range norm {
+			if prev.Name == t.Name {
+				sc.norm = norm
 				return rejectTask(t, VerdictInvalid, "name duplicated in the batch")
 			}
-			inBatch[t.Name] = true
 		}
-		norm[i] = t
+		norm = append(norm, t)
 	}
+	sc.norm = norm
 	if err := m.reserveAdmit(norm); err != nil {
 		return err
 	}
-	touched := m.lockChannels(norm)
+	touched := m.lockChannels(norm, sc.touched[:0])
+	sc.touched = touched
 	defer unlockChannels(touched)
+	mt := m.met.Load()
+	var patch0 time.Time
+	if mt != nil {
+		patch0 = time.Now()
+	}
 	for i := range touched {
 		tc := &touched[i]
 		group := norm
@@ -420,6 +589,9 @@ func (m *Manager) AdmitBatch(batch []task.Task) error {
 			return &Rejection{Verdicts: []TaskVerdict{{Code: VerdictInvalid, Detail: err.Error()}}}
 		}
 		tc.group, tc.minq, tc.patches = group, tc.st.prof.MinQ(m.p), 1
+	}
+	if mt != nil {
+		mt.PatchLatency.ObserveSince(patch0)
 	}
 	if err := m.commit(touched, norm, nil, nil); err != nil {
 		rollbackAdmits(touched)
@@ -468,7 +640,23 @@ func (m *Manager) RemoveBatch(names []string) error {
 	if len(names) == 0 {
 		return nil
 	}
-	victims, parked, err := m.reserveRemove(names)
+	err := m.removeBatch(names)
+	if mt := m.met.Load(); mt != nil {
+		if err == nil {
+			mt.RemoveBatches.Inc()
+			mt.TasksRemoved.Add(uint64(len(names)))
+		} else {
+			mt.RemoveRejected.Inc()
+		}
+	}
+	return err
+}
+
+func (m *Manager) removeBatch(names []string) error {
+	sc := opPool.Get().(*opScratch)
+	defer opPool.Put(sc)
+	victims, parked, err := m.reserveRemove(names, sc.norm[:0], sc.parked[:0])
+	sc.norm, sc.parked = victims, parked
 	if err != nil {
 		return err
 	}
@@ -476,7 +664,8 @@ func (m *Manager) RemoveBatch(names []string) error {
 	if len(parked) > 0 {
 		all = append(append(make(task.Set, 0, len(victims)+len(parked)), victims...), parked...)
 	}
-	touched := m.lockChannels(all)
+	touched := m.lockChannels(all, sc.touched[:0])
+	sc.touched = touched
 	defer unlockChannels(touched)
 	// Re-split under the channel locks: a Revoke or Restore that ran
 	// between reservation and lock acquisition may have parked a live
@@ -485,7 +674,7 @@ func (m *Manager) RemoveBatch(names []string) error {
 	// ones already did when they were evicted. Revoke/Restore hold every
 	// channel lock, so the classification is stable from here on.
 	m.nameMu.Lock()
-	live := make(task.Set, 0, len(all))
+	live := sc.live[:0]
 	parked = parked[:0]
 	for _, t := range all {
 		if m.names[t.Name].parked {
@@ -494,7 +683,13 @@ func (m *Manager) RemoveBatch(names []string) error {
 			live = append(live, t)
 		}
 	}
+	sc.live, sc.parked = live, parked
 	m.nameMu.Unlock()
+	mt := m.met.Load()
+	var patch0 time.Time
+	if mt != nil {
+		patch0 = time.Now()
+	}
 	for i := range touched {
 		tc := &touched[i]
 		group := live
@@ -512,6 +707,9 @@ func (m *Manager) RemoveBatch(names []string) error {
 		}
 		tc.group, tc.minq, tc.patches = group, tc.st.prof.MinQ(m.p), 1
 	}
+	if mt != nil {
+		mt.PatchLatency.ObserveSince(patch0)
+	}
 	if err := m.commit(touched, nil, live, parked); err != nil {
 		rollbackRemoves(touched)
 		m.unreserveRemove(live, parked)
@@ -519,6 +717,37 @@ func (m *Manager) RemoveBatch(names []string) error {
 	}
 	m.maybeConsolidate(touched)
 	return nil
+}
+
+// nameFreeMax bounds the registry's entry freelist; beyond it retired
+// entries go to the collector.
+const nameFreeMax = 64
+
+// newEntryLocked takes an entry off the freelist (or allocates one)
+// and initialises it. Caller holds nameMu.
+func (m *Manager) newEntryLocked(t task.Task, pending bool) *nameEntry {
+	if n := len(m.nameFree); n > 0 {
+		e := m.nameFree[n-1]
+		m.nameFree = m.nameFree[:n-1]
+		*e = nameEntry{t: t, pending: pending}
+		return e
+	}
+	return &nameEntry{t: t, pending: pending}
+}
+
+// freeEntryLocked removes name from the registry and recycles its
+// entry. Entry pointers never escape the registry (lookups copy the
+// task value out under nameMu), so recycling is safe. Caller holds
+// nameMu.
+func (m *Manager) freeEntryLocked(name string) {
+	e, ok := m.names[name]
+	if !ok {
+		return
+	}
+	delete(m.names, name)
+	if len(m.nameFree) < nameFreeMax {
+		m.nameFree = append(m.nameFree, e)
+	}
 }
 
 // reserveAdmit claims the batch's names in the registry, rejecting
@@ -531,11 +760,11 @@ func (m *Manager) reserveAdmit(batch task.Set) error {
 	for i, t := range batch {
 		if e, exists := m.names[t.Name]; exists {
 			for _, u := range batch[:i] { // roll back this batch's claims
-				delete(m.names, u.Name)
+				m.freeEntryLocked(u.Name)
 			}
 			return rejectTask(t, collisionVerdict(e), collisionDetail(e))
 		}
-		m.names[t.Name] = &nameEntry{t: t, pending: true}
+		m.names[t.Name] = m.newEntryLocked(t, true)
 	}
 	return nil
 }
@@ -562,7 +791,7 @@ func collisionDetail(e *nameEntry) string {
 func (m *Manager) unreserveAdmit(batch task.Set) {
 	m.nameMu.Lock()
 	for _, t := range batch {
-		delete(m.names, t.Name)
+		m.freeEntryLocked(t.Name)
 	}
 	m.nameMu.Unlock()
 }
@@ -570,14 +799,15 @@ func (m *Manager) unreserveAdmit(batch task.Set) {
 // reserveRemove marks the named entries pending and returns their task
 // values (the exact values the channel profiles hold), split into live
 // victims — whose channel profiles must be patched — and parked
-// victims, which left the profiles when they were evicted. Names must
-// be unique within the batch and denote committed tasks; a task another
-// batch is still admitting or removing is a transient conflict
-// (ErrBusy).
-func (m *Manager) reserveRemove(names []string) (victims, parked task.Set, err error) {
+// victims, which left the profiles when they were evicted. The results
+// are appended into the caller's scratch slices (pass them length 0).
+// Names must be unique within the batch and denote committed tasks; a
+// task another batch is still admitting or removing is a transient
+// conflict (ErrBusy).
+func (m *Manager) reserveRemove(names []string, victimsScratch, parkedScratch task.Set) (victims, parked task.Set, err error) {
 	m.nameMu.Lock()
 	defer m.nameMu.Unlock()
-	victims = make(task.Set, 0, len(names))
+	victims, parked = victimsScratch, parkedScratch
 	rollback := func() {
 		for _, t := range victims {
 			m.names[t.Name].pending = false
@@ -589,22 +819,22 @@ func (m *Manager) reserveRemove(names []string) (victims, parked task.Set, err e
 	for i, name := range names {
 		if name == "" {
 			rollback()
-			return nil, nil, fmt.Errorf("%w: cannot remove by empty name", ErrRejected)
+			return victims, parked, fmt.Errorf("%w: cannot remove by empty name", ErrRejected)
 		}
 		for _, prev := range names[:i] {
 			if prev == name {
 				rollback()
-				return nil, nil, fmt.Errorf("%w: task %q listed twice in the batch", ErrRejected, name)
+				return victims, parked, fmt.Errorf("%w: task %q listed twice in the batch", ErrRejected, name)
 			}
 		}
 		e, ok := m.names[name]
 		if !ok {
 			rollback()
-			return nil, nil, fmt.Errorf("%w: no task %q", ErrRejected, name)
+			return victims, parked, fmt.Errorf("%w: no task %q", ErrRejected, name)
 		}
 		if e.pending {
 			rollback()
-			return nil, nil, fmt.Errorf("%w: task %q: %w", ErrRejected, name, ErrBusy)
+			return victims, parked, fmt.Errorf("%w: task %q: %w", ErrRejected, name, ErrBusy)
 		}
 		e.pending = true
 		if e.parked {
@@ -668,10 +898,11 @@ func (tc *touchedChannel) thaw() {
 // order so concurrent batches with overlapping footprints cannot
 // deadlock, and seeds each candidate minimum with the committed one.
 // Dedup is a linear scan — batches touch a handful of channels, and a
-// map here allocates on the hottest path. The caller unlocks via
-// unlockChannels.
-func (m *Manager) lockChannels(batch task.Set) []touchedChannel {
-	touched := make([]touchedChannel, 0, len(batch))
+// map here allocates on the hottest path. The result is appended into
+// the caller's scratch slice (pass it length 0; nil is fine off the
+// hot path). The caller unlocks via unlockChannels.
+func (m *Manager) lockChannels(batch task.Set, scratch []touchedChannel) []touchedChannel {
+	touched := scratch
 outer:
 	for _, t := range batch {
 		st := m.channels[t.Mode][t.Channel]
@@ -729,7 +960,10 @@ func unlockChannels(touched []touchedChannel) {
 // allocation-free. Caller holds commitMu and the touched channels'
 // locks.
 func (m *Manager) candidateLocked(touched []touchedChannel) (next core.Config, reshaped [task.NumModes]bool, binding [task.NumModes]int) {
-	next = *m.cfg.Load()
+	// Under commitMu the current record cannot be retired or rewritten
+	// (both only happen under commitMu), so reading it directly — no
+	// acquire/release — is safe for writers.
+	next = m.cur.Load().cfg
 	for _, tc := range touched {
 		reshaped[tc.st.mode] = true
 	}
@@ -757,8 +991,8 @@ func (m *Manager) candidateLocked(touched []touchedChannel) (next core.Config, r
 }
 
 // fits reports whether the candidate slots fit the unrevoked capacity.
-func (m *Manager) fits(next core.Config, deg *degradeState) bool {
-	return next.Q.Total() <= m.p-deg.revoked+core.SlotFitTol
+func (m *Manager) fits(next core.Config, revoked float64) bool {
+	return next.Q.Total() <= m.p-revoked+core.SlotFitTol
 }
 
 // commit is the decide-and-swap step, serialised on commitMu: recompute
@@ -770,12 +1004,20 @@ func (m *Manager) fits(next core.Config, deg *degradeState) bool {
 // without profile work (their demand left when they were evicted). The
 // caller holds the touched channels' locks.
 func (m *Manager) commit(touched []touchedChannel, added, removed, removedParked task.Set) error {
+	mt := m.met.Load()
+	var t0 time.Time
+	if mt != nil {
+		t0 = time.Now()
+	}
 	m.commitMu.Lock()
 	defer m.commitMu.Unlock()
-	deg := m.deg.Load()
+	if mt != nil {
+		defer mt.CommitLatency.ObserveSince(t0)
+	}
+	old := m.cur.Load()
 	next, reshaped, binding := m.candidateLocked(touched)
-	if !m.fits(next, deg) {
-		return m.rejectOverflow(next, reshaped, binding, deg, added)
+	if !m.fits(next, old.revoked) {
+		return m.rejectOverflow(next, reshaped, binding, old.revoked, added)
 	}
 	// Structural sanity before switching. The schedulability of the new
 	// configuration follows from the compiled inversion itself: each
@@ -787,44 +1029,50 @@ func (m *Manager) commit(touched []touchedChannel, added, removed, removedParked
 	if err := next.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrRejected, err)
 	}
-	m.publishLocked(touched, added, removed, removedParked, next, deg)
+	m.publishLocked(touched, added, removed, removedParked, next, old)
 	return nil
 }
 
 // publishLocked installs the decided state: the touched shards'
 // profiles and minima, the live task snapshot, the configuration, the
-// parked set and the name registry. Caller holds commitMu and the
-// touched channels' locks.
-func (m *Manager) publishLocked(touched []touchedChannel, added, removed, removedParked task.Set, next core.Config, deg *degradeState) {
+// parked set and the name registry. The new state is built directly
+// into a recycled snapshot record (see nextSnapLocked), so the
+// steady-state publication reuses its slice backings and allocates
+// nothing. Caller holds commitMu and the touched channels' locks; old
+// is the current record.
+func (m *Manager) publishLocked(touched []touchedChannel, added, removed, removedParked task.Set, next core.Config, old *snapshot) {
 	m.installProfiles(touched)
-	old := *m.live.Load()
-	live := make(task.Set, 0, len(old)+len(added))
-	for _, t := range old {
+	s := m.nextSnapLocked()
+	s.cfg = next
+	s.live = s.live[:0]
+	for _, t := range old.live {
 		if _, gone := removed.Find(t.Name); !gone || t.Name == "" {
-			live = append(live, t)
+			s.live = append(s.live, t)
 		}
 	}
-	live = append(live, added...)
-	m.live.Store(&live)
-	m.cfg.Store(&next)
+	s.live = append(s.live, added...)
+	s.revoked = old.revoked
+	s.parked = s.parked[:0]
 	if len(removedParked) > 0 {
-		parked := make(task.Set, 0, len(deg.parked))
-		for _, t := range deg.parked {
+		for _, t := range old.parked {
 			if _, gone := removedParked.Find(t.Name); !gone {
-				parked = append(parked, t)
+				s.parked = append(s.parked, t)
 			}
 		}
-		m.deg.Store(&degradeState{revoked: deg.revoked, parked: parked})
+	} else {
+		s.parked = append(s.parked, old.parked...)
 	}
+	m.cur.Store(s)
+	m.setStateGauges(s)
 	m.nameMu.Lock()
 	for _, t := range added {
 		m.names[t.Name].pending = false
 	}
 	for _, t := range removed {
-		delete(m.names, t.Name)
+		m.freeEntryLocked(t.Name)
 	}
 	for _, t := range removedParked {
-		delete(m.names, t.Name)
+		m.freeEntryLocked(t.Name)
 	}
 	m.nameMu.Unlock()
 }
@@ -835,7 +1083,7 @@ func (m *Manager) publishLocked(touched []touchedChannel, added, removed, remove
 // minus the slots held by the other modes (admissible within
 // core.SlotFitTol) — plus the binding channel and a verdict for every
 // batch member of the all-or-nothing batch.
-func (m *Manager) rejectOverflow(next core.Config, reshaped [task.NumModes]bool, binding [task.NumModes]int, deg *degradeState, batch task.Set) error {
+func (m *Manager) rejectOverflow(next core.Config, reshaped [task.NumModes]bool, binding [task.NumModes]int, revoked float64, batch task.Set) error {
 	rej := &Rejection{}
 	for _, mode := range task.Modes() {
 		if !reshaped[mode] {
@@ -846,9 +1094,9 @@ func (m *Manager) rejectOverflow(next core.Config, reshaped [task.NumModes]bool,
 			Mode:      mode,
 			Channel:   binding[mode],
 			Requested: need,
-			Max:       m.p - deg.revoked - (next.Q.Total() - need),
+			Max:       m.p - revoked - (next.Q.Total() - need),
 			Period:    m.p,
-			Revoked:   deg.revoked,
+			Revoked:   revoked,
 		})
 	}
 	for _, t := range batch {
@@ -867,12 +1115,19 @@ func (m *Manager) rejectOverflow(next core.Config, reshaped [task.NumModes]bool,
 // patch. The caller holds the channel locks (and, on batch paths,
 // commitMu).
 func (m *Manager) installProfiles(touched []touchedChannel) {
+	mt := m.met.Load()
 	for _, tc := range touched {
 		if tc.patched && tc.st.prof.Fallbacks() > tc.fallback0 {
-			m.emit(Event{Kind: trace.EnvelopeFallback, Mode: tc.st.mode, Channel: tc.st.ch, Revoked: m.deg.Load().revoked})
+			if mt != nil {
+				mt.EnvelopeFallbacks.Inc()
+			}
+			m.emit(Event{Kind: trace.EnvelopeFallback, Mode: tc.st.mode, Channel: tc.st.ch, Revoked: m.cur.Load().revoked})
 		}
 		tc.st.minq = tc.minq
 		tc.st.patches += tc.patches
+		if mt != nil && tc.patches > 0 {
+			mt.EnvelopePatches.Add(uint64(tc.patches))
+		}
 	}
 }
 
@@ -916,13 +1171,22 @@ func (m *Manager) SetConsolidateEvery(n int) {
 func (m *Manager) maybeConsolidate(touched []touchedChannel) {
 	every := int(m.consolidateEvery.Load())
 	ratio := math.Float64frombits(m.consolidateRatio.Load())
-	if every <= 0 && ratio <= 0 {
+	mt := m.met.Load()
+	if every <= 0 && ratio <= 0 && mt == nil {
 		return
 	}
 	for _, tc := range touched {
+		var r float64
+		if ratio > 0 || mt != nil {
+			// One MemStats pass feeds both the trigger and the gauge.
+			r = tc.st.prof.MemStats().Ratio()
+			if mt != nil {
+				mt.EnvelopeMemRatio.Set(r)
+			}
+		}
 		switch {
 		case every > 0 && tc.st.patches >= every:
-		case ratio > 0 && tc.st.prof.MemStats().Ratio() >= ratio:
+		case ratio > 0 && r >= ratio:
 		default:
 			continue
 		}
@@ -969,7 +1233,12 @@ func (m *Manager) consolidateLocked(st *channelState) bool {
 	}
 	st.prof = fresh
 	st.patches = 0
-	m.emit(Event{Kind: trace.Consolidated, Mode: st.mode, Channel: st.ch, Revoked: m.deg.Load().revoked})
+	if mt := m.met.Load(); mt != nil {
+		mt.Consolidations.Inc()
+	}
+	// Consolidation runs outside commitMu, so the revoked capacity for
+	// the event must come from a pinned snapshot.
+	m.emit(Event{Kind: trace.Consolidated, Mode: st.mode, Channel: st.ch, Revoked: m.Revoked()})
 	return true
 }
 

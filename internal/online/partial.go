@@ -2,7 +2,7 @@ package online
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/task"
 	"repro/internal/trace"
@@ -95,6 +95,22 @@ func (r *AdmitReport) Err() error {
 // the result — configuration, profiles, patch counts — is
 // bit-identical to AdmitBatch of the same batch.
 func (m *Manager) AdmitBatchPartial(batch []task.Task, pol Policy) (*AdmitReport, error) {
+	report, err := m.admitBatchPartial(batch, pol)
+	if mt := m.met.Load(); mt != nil && err == nil {
+		mt.PartialBatches.Inc()
+		mt.TasksAdmitted.Add(uint64(len(report.Admitted)))
+		shed := 0
+		for _, v := range report.Rejected {
+			if v.Code == VerdictShed {
+				shed++
+			}
+		}
+		mt.TasksShed.Add(uint64(shed))
+	}
+	return report, err
+}
+
+func (m *Manager) admitBatchPartial(batch []task.Task, pol Policy) (*AdmitReport, error) {
 	report := &AdmitReport{}
 	if len(batch) == 0 {
 		return report, nil
@@ -123,7 +139,7 @@ func (m *Manager) AdmitBatchPartial(batch []task.Task, pol Policy) (*AdmitReport
 	if len(reserved) == 0 {
 		return report, nil
 	}
-	touched := m.lockChannels(reserved)
+	touched := m.lockChannels(reserved, nil)
 	defer unlockChannels(touched)
 	for i := range touched {
 		tc := &touched[i]
@@ -154,7 +170,7 @@ func (m *Manager) AdmitBatchPartial(batch []task.Task, pol Policy) (*AdmitReport
 			})
 		}
 		m.unreserveAdmit(drop)
-		m.emit(Event{Kind: trace.Shed, Tasks: names, Revoked: m.deg.Load().revoked})
+		m.emit(Event{Kind: trace.Shed, Tasks: names, Revoked: m.Revoked()})
 	}
 	if len(admitted) > 0 {
 		m.maybeConsolidate(touched)
@@ -173,7 +189,7 @@ func (m *Manager) reservePartial(batch task.Set) (reserved task.Set, conflicts [
 			conflicts = append(conflicts, TaskVerdict{Task: t, Code: collisionVerdict(e), Detail: collisionDetail(e)})
 			continue
 		}
-		m.names[t.Name] = &nameEntry{t: t, pending: true}
+		m.names[t.Name] = m.newEntryLocked(t, true)
 		reserved = append(reserved, t)
 	}
 	return reserved, conflicts
@@ -200,11 +216,11 @@ func findTouched(touched []touchedChannel, t task.Task) *touchedChannel {
 func (m *Manager) commitPartial(touched []touchedChannel, reserved task.Set, pol Policy) (admitted task.Set, shed task.Set, overflows []SlotOverflow) {
 	m.commitMu.Lock()
 	defer m.commitMu.Unlock()
-	deg := m.deg.Load()
+	old := m.cur.Load()
 	remaining := append(task.Set(nil), reserved...)
 	for {
 		next, reshaped, binding := m.candidateLocked(touched)
-		if m.fits(next, deg) {
+		if m.fits(next, old.revoked) {
 			break
 		}
 		if overflows == nil {
@@ -218,9 +234,9 @@ func (m *Manager) commitPartial(touched []touchedChannel, reserved task.Set, pol
 					Mode:      mode,
 					Channel:   binding[mode],
 					Requested: need,
-					Max:       m.p - deg.revoked - (next.Q.Total() - need),
+					Max:       m.p - old.revoked - (next.Q.Total() - need),
 					Period:    m.p,
-					Revoked:   deg.revoked,
+					Revoked:   old.revoked,
 				})
 			}
 		}
@@ -251,7 +267,15 @@ func (m *Manager) commitPartial(touched []touchedChannel, reserved task.Set, pol
 	// Re-add pass, highest value first: shedding is greedy, so an early
 	// cheap shed can leave room a later victim's departure opened up.
 	if len(shed) > 0 {
-		sort.SliceStable(shed, func(i, j int) bool { return pol.shedBefore(shed[j], shed[i]) })
+		slices.SortStableFunc(shed, func(a, b task.Task) int {
+			switch {
+			case pol.shedBefore(b, a):
+				return -1
+			case pol.shedBefore(a, b):
+				return 1
+			}
+			return 0
+		})
 		kept := shed[:0]
 		for _, t := range shed {
 			tc := findTouched(touched, t)
@@ -261,7 +285,7 @@ func (m *Manager) commitPartial(touched []touchedChannel, reserved task.Set, pol
 			}
 			oldMinq := tc.minq
 			tc.minq = tc.st.prof.MinQ(m.p)
-			if next, _, _ := m.candidateLocked(touched); m.fits(next, deg) {
+			if next, _, _ := m.candidateLocked(touched); m.fits(next, old.revoked) {
 				tc.patches++
 				remaining = append(remaining, t)
 			} else {
@@ -290,6 +314,6 @@ func (m *Manager) commitPartial(touched []touchedChannel, reserved task.Set, pol
 		// admit nothing rather than publish a broken configuration.
 		return nil, append(shed, admitted...), overflows
 	}
-	m.publishLocked(touched, admitted, nil, nil, next, deg)
+	m.publishLocked(touched, admitted, nil, nil, next, old)
 	return admitted, shed, overflows
 }

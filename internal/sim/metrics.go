@@ -1,0 +1,86 @@
+package sim
+
+import "repro/internal/metrics"
+
+// Metrics is the scenario runtime's instrument set. Replay populates
+// it once per run, after the horizon is executed — the replay loop
+// itself stays untouched, so instrumentation costs nothing on the hot
+// path. Counters accumulate across runs sharing a registry (a chaos
+// storm replaying many scenarios, a soak loop); the gauge and
+// histogram reflect the latest run.
+//
+// Conservation: after a single Replay into a fresh registry,
+// sim.events equals len(Scenario.Events), sim.events.accepted equals
+// the outcomes with a nil Err, sim.epochs equals ScenarioResult.Epochs
+// and sim.reshapes equals Epochs−1; the job counters equal the
+// Result's TotalReleased / TotalCompleted / TotalMisses /
+// TotalTransitionLate sums.
+type Metrics struct {
+	// Events counts workload events submitted to the manager;
+	// EventsAccepted counts the subset the manager accepted.
+	Events         *metrics.Counter
+	EventsAccepted *metrics.Counter
+	// Epochs counts provisioning epochs; Reshapes counts the epoch
+	// boundaries where the platform actually re-provisioned (epochs
+	// minus one per run).
+	Epochs   *metrics.Counter
+	Reshapes *metrics.Counter
+	// Job outcome tallies over the executed horizon. Misses counts
+	// hard deadline misses; TransitionLate counts reshape-excused late
+	// jobs, which the headline invariant reports separately.
+	JobsReleased       *metrics.Counter
+	JobsCompleted      *metrics.Counter
+	JobsMissed         *metrics.Counter
+	JobsTransitionLate *metrics.Counter
+	// EventsPerSec is the replay throughput of the latest run:
+	// simulated workload events per wall-clock second.
+	EventsPerSec *metrics.Gauge
+	// ReplayLatency distributes the wall-clock nanoseconds of whole
+	// Replay calls.
+	ReplayLatency *metrics.Histogram
+}
+
+// NewMetrics registers the scenario instrument set under the "sim."
+// namespace of reg. Registration is idempotent, so repeated runs into
+// one registry accumulate.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		Events:             reg.Counter("sim.events"),
+		EventsAccepted:     reg.Counter("sim.events.accepted"),
+		Epochs:             reg.Counter("sim.epochs"),
+		Reshapes:           reg.Counter("sim.reshapes"),
+		JobsReleased:       reg.Counter("sim.jobs.released"),
+		JobsCompleted:      reg.Counter("sim.jobs.completed"),
+		JobsMissed:         reg.Counter("sim.jobs.missed"),
+		JobsTransitionLate: reg.Counter("sim.jobs.transition_late"),
+		EventsPerSec:       reg.Gauge("sim.events_per_sec"),
+		ReplayLatency:      reg.Histogram("sim.replay_ns"),
+	}
+}
+
+// observeReplay folds one finished replay into the instrument set.
+func (mt *Metrics) observeReplay(res *ScenarioResult, wallNS uint64) {
+	if mt == nil {
+		return
+	}
+	accepted := 0
+	for _, out := range res.Outcomes {
+		if out.Err == nil {
+			accepted++
+		}
+	}
+	mt.Events.Add(uint64(len(res.Outcomes)))
+	mt.EventsAccepted.Add(uint64(accepted))
+	mt.Epochs.Add(uint64(res.Epochs))
+	if res.Epochs > 1 {
+		mt.Reshapes.Add(uint64(res.Epochs - 1))
+	}
+	mt.JobsReleased.Add(uint64(res.TotalReleased()))
+	mt.JobsCompleted.Add(uint64(res.TotalCompleted()))
+	mt.JobsMissed.Add(uint64(res.TotalMisses()))
+	mt.JobsTransitionLate.Add(uint64(res.TotalTransitionLate()))
+	mt.ReplayLatency.Observe(wallNS)
+	if wallNS > 0 {
+		mt.EventsPerSec.Set(float64(len(res.Outcomes)) / (float64(wallNS) / 1e9))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -86,6 +87,12 @@ type ScenarioOptions struct {
 	// EventRestore. The zero value treats every task as equally
 	// valuable.
 	Policy online.Policy
+	// Metrics, when non-nil, receives the run's tallies after the
+	// horizon executes: events submitted/accepted, epochs, reshapes,
+	// job outcomes, and replay wall time. The replay loop itself is not
+	// instrumented — population is a single pass over the finished
+	// result.
+	Metrics *Metrics
 	// SettlePeriods delays a newly admitted task's first release this
 	// many slot-cycle periods past the boundary at which its slots were
 	// grown. Growing a slot shifts later slots within the same period,
@@ -175,6 +182,10 @@ type epoch struct {
 func Replay(m *online.Manager, sc Scenario, opts ScenarioOptions) (*ScenarioResult, error) {
 	if m == nil {
 		return nil, fmt.Errorf("sim: Replay needs a manager")
+	}
+	var wall0 time.Time
+	if opts.Metrics != nil {
+		wall0 = time.Now()
 	}
 	alg := m.Alg()
 	cfg0 := m.Config()
@@ -489,6 +500,9 @@ func Replay(m *online.Manager, sc Scenario, opts ScenarioOptions) (*ScenarioResu
 		}
 	}
 	opts.finishTrace(res.Trace)
+	if opts.Metrics != nil {
+		opts.Metrics.observeReplay(res, uint64(time.Since(wall0)))
+	}
 	return res, nil
 }
 

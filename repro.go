@@ -9,6 +9,7 @@ import (
 	"repro/internal/design"
 	"repro/internal/faults"
 	"repro/internal/layout"
+	"repro/internal/metrics"
 	"repro/internal/online"
 	"repro/internal/partition"
 	"repro/internal/region"
@@ -367,6 +368,38 @@ func ReplayScenario(m *OnlineManager, sc Scenario, opts ScenarioOptions) (*Scena
 func RunClosedLoopChaos(m *OnlineManager, opts ClosedLoopOptions) (*ClosedLoopResult, error) {
 	return chaos.RunClosedLoop(m, opts)
 }
+
+// Observability: a dependency-free, zero-allocation metrics layer over
+// the admission and replay runtime (see internal/metrics). Writes are
+// single atomic operations, so instrumented hot paths stay
+// allocation-free; Snapshot reads are immutable copies, exact at
+// quiescent points. Serve a registry over HTTP with metrics.Handler
+// (cmd/ftsim -metricsaddr wires it up) or publish it via expvar.
+type (
+	// MetricsRegistry holds named counters, gauges and histograms.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is an immutable point-in-time copy of a registry.
+	MetricsSnapshot = metrics.Snapshot
+	// OnlineMetrics is the online manager's instrument set; install it
+	// with OnlineManager.SetMetrics.
+	OnlineMetrics = online.Metrics
+	// SimMetrics is the scenario runtime's instrument set; pass it via
+	// ScenarioOptions.Metrics.
+	SimMetrics = sim.Metrics
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// NewOnlineMetrics registers the manager instrument set (counters for
+// every reconfiguration outcome, patch/commit latency histograms,
+// live-state gauges) under the "online." namespace of reg.
+func NewOnlineMetrics(reg *MetricsRegistry) *OnlineMetrics { return online.NewMetrics(reg) }
+
+// NewSimMetrics registers the scenario-runtime instrument set (events,
+// epochs, reshapes, job outcomes, replay throughput) under the "sim."
+// namespace of reg.
+func NewSimMetrics(reg *MetricsRegistry) *SimMetrics { return sim.NewMetrics(reg) }
 
 // SplitSolution is a design whose quanta are delivered as several
 // sub-slots per period (the paper's multi-quantum extension).
